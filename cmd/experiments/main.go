@@ -1,0 +1,89 @@
+// Command experiments regenerates the paper's tables and figures. Each
+// experiment prints the rows/series the paper reports; -csv writes
+// machine-readable copies under -out.
+//
+// Usage:
+//
+//	experiments -run all -scale quick
+//	experiments -run fig6 -scale full -csv -out results/
+//	experiments -run table1,table2,leakage
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tcoram"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "all", "comma-separated: table1,table2,fig2,fig5,fig6,fig7,fig8a,fig8b,headline,leakage,all")
+		scale   = flag.String("scale", "quick", "run scale: quick or full")
+		csv     = flag.Bool("csv", false, "also write CSV files")
+		out     = flag.String("out", "results", "CSV output directory")
+	)
+	flag.Parse()
+
+	var sc tcoram.ExperimentScale
+	switch *scale {
+	case "quick":
+		sc = tcoram.QuickScale()
+	case "full":
+		sc = tcoram.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+
+	all := map[string]func() *tcoram.Table{
+		"table1":   tcoram.ExperimentTable1,
+		"table2":   tcoram.ExperimentTable2,
+		"leakage":  tcoram.ExperimentLeakage,
+		"fig2":     func() *tcoram.Table { return tcoram.ExperimentFig2(sc) },
+		"fig5":     func() *tcoram.Table { return tcoram.ExperimentFig5(sc) },
+		"fig6":     func() *tcoram.Table { return tcoram.ExperimentFig6(sc) },
+		"fig7":     func() *tcoram.Table { return tcoram.ExperimentFig7(sc) },
+		"fig8a":    func() *tcoram.Table { return tcoram.ExperimentFig8a(sc) },
+		"fig8b":    func() *tcoram.Table { return tcoram.ExperimentFig8b(sc) },
+		"headline": func() *tcoram.Table { return tcoram.ExperimentHeadline(sc) },
+	}
+	order := []string{"table1", "table2", "leakage", "fig2", "fig5", "fig6", "fig7", "fig8a", "fig8b", "headline"}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	if want["all"] {
+		for _, n := range order {
+			want[n] = true
+		}
+	}
+
+	for _, name := range order {
+		if !want[name] {
+			continue
+		}
+		start := time.Now()
+		tbl := all[name]()
+		tbl.Render(os.Stdout)
+		fmt.Printf("[%s: %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csv {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f, err := os.Create(filepath.Join(*out, name+".csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tbl.CSV(f)
+			f.Close()
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command oramsim runs one benchmark under one memory-controller scheme and
+// prints the run summary: cycles, IPC, overhead inputs, power breakdown,
+// rate history and leakage bound.
+//
+// Usage:
+//
+//	oramsim -bench mcf -scheme dynamic -rates 4 -growth 4 -instr 20000000
+//	oramsim -bench h264ref -scheme static -rate 300
+//	oramsim -bench perlbench -input splitmail -scheme base_oram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tcoram"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark name (mcf, omnetpp, libquantum, bzip2, hmmer, astar, gcc, gobmk, sjeng, h264ref, perlbench)")
+		input   = flag.String("input", "", "benchmark input variant (perlbench: diffmail/splitmail; astar: rivers/biglakes)")
+		scheme  = flag.String("scheme", "dynamic", "memory scheme: base_dram, base_oram, static, dynamic")
+		rate    = flag.Uint64("rate", 300, "static scheme rate in cycles")
+		rates   = flag.Int("rates", 4, "dynamic scheme |R|")
+		growth  = flag.Uint64("growth", 4, "dynamic scheme epoch growth factor (2,4,8,16)")
+		instr   = flag.Uint64("instr", 10_000_000, "measured instructions")
+		warmup  = flag.Uint64("warmup", 3_000_000, "warmup instructions (fast-forward)")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		windows = flag.Bool("windows", false, "print per-window stats")
+	)
+	flag.Parse()
+
+	spec, ok := tcoram.WorkloadByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	if *input != "" {
+		if s, ok := tcoram.WorkloadInput(*bench, *input); ok {
+			spec = s
+		}
+	}
+
+	cfg := tcoram.Config{
+		Instructions: *instr,
+		WarmupInstrs: *warmup,
+		Seed:         *seed,
+		StaticRate:   *rate,
+		NumRates:     *rates,
+		EpochGrowth:  *growth,
+	}
+	switch *scheme {
+	case "base_dram":
+		cfg.Scheme = tcoram.BaseDRAM
+	case "base_oram":
+		cfg.Scheme = tcoram.BaseORAM
+	case "static":
+		cfg.Scheme = tcoram.StaticORAM
+	case "dynamic":
+		cfg.Scheme = tcoram.DynamicORAM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(1)
+	}
+
+	res, err := tcoram.Simulate(spec, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload      %s\n", res.Workload)
+	fmt.Printf("scheme        %s\n", cfg.Name())
+	fmt.Printf("instructions  %d (+%d warmup)\n", res.Instrs, *warmup)
+	fmt.Printf("cycles        %d\n", res.Cycles)
+	fmt.Printf("IPC           %.4f\n", res.IPC)
+	fmt.Printf("LLC misses    %d (%.2f MPKI)\n", res.Cache.L2Misses,
+		float64(res.Cache.L2Misses)/float64(res.Instrs)*1000)
+	fmt.Printf("power         %.3f W (core %.3f + memory %.3f)\n",
+		res.Power.Watts(), res.Power.CoreWatts(), res.Power.MemoryWatts())
+	if cfg.Scheme != tcoram.BaseDRAM {
+		fmt.Printf("ORAM accesses %d real, %d dummy (%.0f%% dummy), %d writebacks absorbed\n",
+			res.Mem.RealAccesses, res.Mem.DummyAccesses,
+			res.Mem.DummyFraction()*100, res.Mem.WritebacksDone)
+	}
+	fmt.Printf("leakage bound %s (ORAM timing channel, paper-scale accounting)\n", res.LeakageBits)
+	if len(res.RateChanges) > 0 {
+		fmt.Printf("rate history ")
+		for _, rc := range res.RateChanges {
+			fmt.Printf(" e%d@%d→%d", rc.Epoch, rc.Cycle, rc.Rate)
+		}
+		fmt.Println()
+	}
+	if *windows {
+		fmt.Println("\nwindow  end-instr      IPC     real  dummy  instr/access")
+		for i, w := range res.Windows {
+			fmt.Printf("%6d  %9d  %7.4f  %6d %6d  %10.0f\n",
+				i, w.EndInstr, w.IPC, w.RealORAM, w.DummyORAM, w.InstrPerMem)
+		}
+	}
+}

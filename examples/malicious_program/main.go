@@ -1,0 +1,55 @@
+// Malicious program demo (Figure 1a): a program that encodes a secret in
+// its ORAM request times leaks every bit against an unprotected ORAM, and
+// nothing beyond the rate schedule against the enforcer. The demo also
+// shows the §3.2 root-bucket probe that makes the attack practical.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tcoram"
+	"tcoram/internal/pathoram"
+)
+
+func main() {
+	// Part 1: the adversary's measurement tool — probing the root bucket.
+	o, err := tcoram.NewDemoORAM(8, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probe := tcoram.NewRootProbe(o)
+	if _, err := o.Access(pathoram.OpWrite, 3, make([]byte, 64)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probe detects the access: %v (ciphertext of the root changed)\n", probe.Poll())
+	fmt.Printf("probe between accesses:   %v\n", probe.Poll())
+
+	// Part 2: P1 transmits a 64-bit secret through access timing.
+	rng := rand.New(rand.NewSource(42))
+	secret := make([]bool, 64)
+	ones := 0
+	for i := range secret {
+		secret[i] = rng.Intn(2) == 1
+		if secret[i] {
+			ones++
+		}
+	}
+	fmt.Printf("\nsecret: %d bits (%d ones)\n", len(secret), ones)
+
+	res := tcoram.RunLeakDemo(secret)
+	fmt.Printf("recovered from base_oram timing trace: %d/%d bits\n",
+		res.UnprotectedBits, res.SecretBits)
+	fmt.Printf("enforcer slot traces identical across secrets: %v\n", res.ShieldedTraceEq)
+
+	fmt.Println("\nWith rate enforcement the observable trace is the periodic slot grid;")
+	fmt.Println("what CAN leak is only the per-epoch rate choice:")
+	for _, cfg := range []struct {
+		r int
+		g uint64
+	}{{4, 2}, {4, 4}, {4, 16}} {
+		fmt.Printf("  dynamic_R%d_E%-2d → ≤ %s per execution\n",
+			cfg.r, cfg.g, tcoram.LeakageBudget(cfg.r, cfg.g))
+	}
+}

@@ -1,0 +1,68 @@
+// Replay attack demo (§4.3, §8): an L-bit bound is only meaningful per
+// execution — a server that can replay the user's data accumulates L bits
+// per run. The demo shows the broken HMAC-determinism defence (§8.1) and
+// the working run-once session protocol (§8).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"tcoram"
+	"tcoram/internal/leakage"
+	"tcoram/internal/protocol"
+)
+
+func main() {
+	// Part 1: why replays matter.
+	perRun := tcoram.LeakageBudget(4, 4)
+	fmt.Printf("leakage per execution (dynamic_R4_E4): %s\n", perRun)
+	for _, n := range []int{1, 4, 32} {
+		fmt.Printf("  after %2d replays: %.0f bits\n", n, float64(perRun)*float64(n))
+	}
+
+	// Part 2: the broken defence — deterministic re-execution + HMAC.
+	fmt.Println("\n§8.1's broken defence (HMAC-pinned program + deterministic replay):")
+	divergent, at := tcoram.BrokenDeterminismDemo(1488, 800)
+	fmt.Printf("  memory-latency jitter of %d cycles changes the rate sequence: %v\n", at, divergent)
+	fmt.Println("  → replays are NOT identical; each one is a fresh observable trace.")
+
+	// Part 3: the working defence — run-once sessions.
+	fmt.Println("\n§8's working defence (processor forgets the session key):")
+	proc, err := tcoram.NewSecureProcessor()
+	if err != nil {
+		log.Fatal(err)
+	}
+	user := tcoram.NewProtocolUser()
+	if err := tcoram.Handshake(user, proc); err != nil {
+		log.Fatal(err)
+	}
+
+	program := []byte("certified word-count binary")
+	job, err := user.PrepareJob([]byte("the user's private mailbox"), program, leakage.Bits(94))
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := tcoram.LeakageParams{NumRates: 4, EpochGrowth: 4, Tmax: 1 << 62}
+	if err := proc.Admit(job, program, params); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  run 1: job admitted (32-bit budget ≤ 94-bit limit), executed")
+	sealed, err := proc.SealResult([]byte("result: 42 messages"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := user.Decrypt(sealed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  user decrypts result: %q\n", plain)
+
+	proc.EndSession() // the processor zeroes K
+	err = proc.Admit(job, program, params)
+	fmt.Printf("  run 2 (replay of the same job): %v\n", err)
+	if errors.Is(err, protocol.ErrSessionClosed) {
+		fmt.Println("  → the ciphertext is now undecryptable; the data ran exactly once.")
+	}
+}

@@ -1,0 +1,183 @@
+// Package adversary implements the attacker models the paper analyzes:
+//
+//   - the root-bucket probing attack of §3.2, which recovers ORAM access
+//     timing by polling the (probabilistically re-encrypted) root bucket in
+//     shared DRAM;
+//   - Figure 1's malicious program P1, which encodes secret bits in its
+//     ORAM request times;
+//   - the replay attacker of §4.3/§8, who reruns a bounded-leakage session
+//     to accumulate bits;
+//   - the §8.1 analysis of the broken HMAC-determinism replay defence,
+//     where main-memory timing jitter re-opens the channel.
+package adversary
+
+import (
+	"bytes"
+
+	"tcoram/internal/core"
+	"tcoram/internal/pathoram"
+	"tcoram/internal/trace"
+)
+
+// Probe watches one bucket of a Path ORAM's untrusted storage and detects
+// accesses by ciphertext change (§3.2: "by performing two reads to the root
+// bucket at times t and t′ ... the adversary learns if ≥ 1 ORAM access has
+// been made").
+type Probe struct {
+	store  *pathoram.ByteStorage
+	bucket uint64
+	last   []byte
+	// Detections counts probe intervals in which at least one access was
+	// observed.
+	Detections int
+	// Polls counts probe reads.
+	Polls int
+}
+
+// NewRootProbe attaches a probe to the root bucket (index 0), which lies on
+// every path and is therefore rewritten by every access — real or dummy.
+func NewRootProbe(o *pathoram.ORAM) *Probe {
+	st := o.Storage()
+	return &Probe{store: st, bucket: 0, last: st.Snapshot(0)}
+}
+
+// Poll reads the watched bucket and reports whether its raw bytes changed
+// since the previous poll — i.e. whether ≥1 ORAM access occurred in the
+// interval.
+func (p *Probe) Poll() bool {
+	p.Polls++
+	cur := p.store.Snapshot(p.bucket)
+	changed := !bytes.Equal(cur, p.last)
+	p.last = cur
+	if changed {
+		p.Detections++
+	}
+	return changed
+}
+
+// MaliciousProgram builds Figure 1 (a)'s program P1 as an instruction
+// stream: for each secret bit, it either waits (a run of ALU instructions)
+// or forces an LLC miss (a load to a fresh cold line). Against an
+// unprotected ORAM, the access/no-access pattern per time step transmits
+// the secret verbatim.
+type MaliciousProgram struct {
+	Secret []bool
+	// StepInstrs is the number of filler instructions per time step.
+	StepInstrs int
+}
+
+// NewMaliciousProgram wraps a secret bit string.
+func NewMaliciousProgram(secret []bool) *MaliciousProgram {
+	return &MaliciousProgram{Secret: secret, StepInstrs: 64}
+}
+
+// Instructions emits the stream. Cold lines stride far apart so every
+// transmitting load misses the LLC.
+func (m *MaliciousProgram) Instructions() []trace.Instr {
+	var out []trace.Instr
+	coldBase := uint64(1) << 33
+	for i, bit := range m.Secret {
+		if bit {
+			out = append(out, trace.Instr{Kind: trace.Load, Addr: coldBase + uint64(i)*(1<<20)})
+		}
+		for j := 0; j < m.StepInstrs; j++ {
+			out = append(out, trace.Instr{Kind: trace.IntALU})
+		}
+	}
+	return out
+}
+
+// DecodeFromSlots recovers the secret from an observed access-time trace
+// given the per-step duration: step k carried a 1 iff some access started
+// within its window. This is the adversary's decoder for the unprotected
+// ORAM; against the enforcer, slot times are rate-locked and the decode
+// degenerates (tests assert both).
+func (m *MaliciousProgram) DecodeFromSlots(slots []core.Slot, stepCycles uint64, steps int) []bool {
+	out := make([]bool, steps)
+	for _, s := range slots {
+		k := int(s.Start / stepCycles)
+		if k >= 0 && k < steps {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// BitsRecovered counts positions where the decoded string matches a 1-bit
+// transmission of the secret.
+func BitsRecovered(secret, decoded []bool) int {
+	n := 0
+	for i := range secret {
+		if i < len(decoded) && decoded[i] == secret[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayAttacker models §4.3: each replay of an L-bit-bounded execution
+// with fresh parameters yields up to L new bits.
+type ReplayAttacker struct {
+	PerRunBits float64
+	Runs       int
+}
+
+// TotalBits is the accumulated leakage across replays.
+func (r ReplayAttacker) TotalBits() float64 { return r.PerRunBits * float64(r.Runs) }
+
+// brokenDemoRun executes §8.1's "deterministic" program — a fixed sequence
+// of compute gaps alternating between a busy and a quiet phase — against an
+// enforcer whose memory latency is olat, and returns the chosen rate
+// sequence.
+func brokenDemoRun(olat uint64) []uint64 {
+	enf, err := core.NewEnforcer(core.EnforcerConfig{
+		ORAMLatency: olat,
+		Rates:       core.PaperRates(4),
+		InitialRate: core.InitialRate,
+		Schedule:    core.EpochSchedule{FirstLen: 1 << 16, Growth: 2},
+	})
+	if err != nil {
+		panic(err)
+	}
+	// The program itself is perfectly deterministic: the i-th request
+	// follows the (i mod 100)-dependent compute gap. Wall-clock request
+	// times still depend on the service latency, so latency jitter shifts
+	// which epoch observes which phase.
+	var done uint64
+	for i := 0; done < 1<<21; i++ {
+		gap := uint64(1000)
+		if i%100 >= 50 {
+			gap = 5000
+		}
+		done = enf.Fetch(done+gap, uint64(i))
+	}
+	var rates []uint64
+	for _, rc := range enf.RateChanges() {
+		rates = append(rates, rc.Rate)
+	}
+	return rates
+}
+
+// BrokenDeterminismDemo reproduces §8.1's analysis: a replay defence that
+// fixes (program, data, E, R) via HMAC and relies on deterministic
+// re-execution fails because main-memory latency varies between runs (bus
+// contention, or an adversarial DoS), perturbing IPC and hence the
+// learner's rate choices. The demo replays the same program while sweeping
+// the latency perturbation up to maxJitter cycles and reports the first
+// jitter whose rate sequence diverges from the unjittered run — each
+// divergence is a fresh observable trace, defeating the defence.
+func BrokenDeterminismDemo(baseLatency, maxJitter uint64) (divergent bool, atJitter uint64, seqA, seqB []uint64) {
+	seqA = brokenDemoRun(baseLatency)
+	for j := uint64(25); j <= maxJitter; j += 25 {
+		seqB = brokenDemoRun(baseLatency + j)
+		if len(seqA) != len(seqB) {
+			return true, j, seqA, seqB
+		}
+		for i := range seqA {
+			if seqA[i] != seqB[i] {
+				return true, j, seqA, seqB
+			}
+		}
+	}
+	return false, 0, seqA, seqA
+}

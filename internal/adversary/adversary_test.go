@@ -1,0 +1,197 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"tcoram/internal/core"
+	"tcoram/internal/pathoram"
+)
+
+func testKey(seed byte) (k [16]byte) {
+	for i := range k {
+		k[i] = seed + byte(i)
+	}
+	return
+}
+
+func newProbeORAM(t *testing.T, seed int64) *pathoram.ORAM {
+	t.Helper()
+	o, err := pathoram.NewORAM(pathoram.Geometry{Levels: 6, Z: 3, BlockBytes: 64},
+		testKey(byte(seed)), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestProbeDetectsEveryAccess(t *testing.T) {
+	// §3.2: every ORAM access rewrites the root bucket, so the probe
+	// detects an access in every interval that contained one.
+	o := newProbeORAM(t, 1)
+	p := NewRootProbe(o)
+	for i := 0; i < 20; i++ {
+		if _, err := o.Access(pathoram.OpRead, uint64(i%5), nil); err != nil {
+			t.Fatal(err)
+		}
+		if !p.Poll() {
+			t.Fatalf("probe missed access %d", i)
+		}
+	}
+	if p.Detections != 20 || p.Polls != 20 {
+		t.Fatalf("probe stats: %d/%d", p.Detections, p.Polls)
+	}
+}
+
+func TestProbeQuietWhenIdle(t *testing.T) {
+	o := newProbeORAM(t, 2)
+	p := NewRootProbe(o)
+	for i := 0; i < 10; i++ {
+		if p.Poll() {
+			t.Fatalf("probe fired with no accesses (poll %d)", i)
+		}
+	}
+}
+
+func TestProbeCannotDistinguishDummies(t *testing.T) {
+	// The probe sees that an access happened — but a dummy access changes
+	// the root exactly like a real one, which is what rate enforcement
+	// relies on.
+	o := newProbeORAM(t, 3)
+	p := NewRootProbe(o)
+	if err := o.DummyAccess(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Poll() {
+		t.Fatal("probe missed a dummy access")
+	}
+	if _, err := o.Access(pathoram.OpRead, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Poll() {
+		t.Fatal("probe missed a real access")
+	}
+}
+
+func randomSecret(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 0
+	}
+	return out
+}
+
+func TestMaliciousProgramLeaksThroughUnshieldedORAM(t *testing.T) {
+	// Fig 1 (a): against base_oram, the access-time trace transmits the
+	// secret verbatim — the adversary decodes all bits.
+	secret := randomSecret(64, 4)
+	prog := NewMaliciousProgram(secret)
+
+	// Model the timing directly: each step takes StepInstrs cycles of
+	// compute; a transmitting step adds one ORAM access.
+	oram := core.NewUnshieldedORAM(1488)
+	oram.RecordSlots = true
+	step := uint64(prog.StepInstrs) + 1488 // worst-case step duration
+	now := uint64(0)
+	for i, bit := range secret {
+		stepStart := uint64(i) * step
+		if now < stepStart {
+			now = stepStart
+		}
+		if bit {
+			now = oram.Fetch(now, uint64(i))
+		}
+	}
+	decoded := prog.DecodeFromSlots(oram.Slots(), step, len(secret))
+	if got := BitsRecovered(secret, decoded); got != len(secret) {
+		t.Fatalf("adversary recovered %d/%d bits from base_oram", got, len(secret))
+	}
+}
+
+func TestMaliciousProgramDefeatedByEnforcer(t *testing.T) {
+	// Against the static enforcer the observable slot trace is the fixed
+	// periodic grid regardless of the secret: two different secrets give
+	// identical traces.
+	run := func(secret []bool) []uint64 {
+		enf, err := core.NewEnforcer(core.EnforcerConfig{
+			ORAMLatency: 1488,
+			Rates:       []uint64{1000},
+			InitialRate: 1000,
+			RecordSlots: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := uint64(2600)
+		for i, bit := range secret {
+			if bit {
+				enf.Fetch(uint64(i)*step, uint64(i))
+			}
+		}
+		enf.Sync(uint64(len(secret)+2) * step)
+		return core.SlotStarts(enf.Slots())
+	}
+	a := run(randomSecret(48, 5))
+	b := run(randomSecret(48, 6))
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d differs: %d vs %d — secret leaked", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReplayAttackerAccumulates(t *testing.T) {
+	r := ReplayAttacker{PerRunBits: 32, Runs: 4}
+	if r.TotalBits() != 128 {
+		t.Fatalf("TotalBits = %v, want 128", r.TotalBits())
+	}
+}
+
+func TestBrokenDeterminismDiverges(t *testing.T) {
+	// §8.1: memory-latency variation between "deterministic" replays
+	// flips the learner's choices → the defence leaks fresh traces.
+	divergent, atJitter, seqA, seqB := BrokenDeterminismDemo(1488, 800)
+	if !divergent {
+		t.Fatalf("no jitter ≤ 800 diverged: %v", seqA)
+	}
+	if atJitter == 0 || len(seqB) == 0 {
+		t.Fatalf("divergence metadata missing: jitter=%d", atJitter)
+	}
+	// Sanity: zero jitter range means no divergence is even attempted.
+	same, _, _, _ := BrokenDeterminismDemo(1488, 0)
+	if same {
+		t.Fatal("empty jitter sweep reported divergence")
+	}
+}
+
+func TestBitsRecoveredPartial(t *testing.T) {
+	secret := []bool{true, false, true}
+	decoded := []bool{true, true, true}
+	if got := BitsRecovered(secret, decoded); got != 2 {
+		t.Fatalf("BitsRecovered = %d, want 2", got)
+	}
+	if got := BitsRecovered(secret, nil); got != 0 {
+		t.Fatalf("BitsRecovered(nil) = %d, want 0", got)
+	}
+}
+
+func TestMaliciousProgramInstructionShape(t *testing.T) {
+	prog := NewMaliciousProgram([]bool{true, false})
+	instrs := prog.Instructions()
+	loads := 0
+	for _, ins := range instrs {
+		if ins.Kind.String() == "load" {
+			loads++
+		}
+	}
+	if loads != 1 {
+		t.Fatalf("loads = %d, want 1 (one per 1-bit)", loads)
+	}
+	if len(instrs) != 2*prog.StepInstrs+1 {
+		t.Fatalf("stream length = %d", len(instrs))
+	}
+}

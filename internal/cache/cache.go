@@ -1,0 +1,184 @@
+// Package cache implements the on-chip memory hierarchy of Table 1: 32 KB
+// 4-way L1 instruction and data caches, a 1 MB 16-way unified inclusive L2
+// (the LLC), an 8-entry non-blocking write buffer, and LRU replacement.
+// The hierarchy issues cache-line fetches and writebacks to a MemoryPort —
+// the ORAM controller or the insecure DRAM controller — on LLC misses and
+// dirty evictions, exactly the events that invoke ORAM in the paper (§3.1).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineBytes is the cache line (and ORAM block) size from Table 1.
+const LineBytes = 64
+
+// MemoryPort is the main-memory interface behind the LLC. Implementations
+// (internal/core) are the ORAM rate enforcer, the unprotected baseline ORAM,
+// and the flat-latency insecure DRAM.
+type MemoryPort interface {
+	// Fetch requests the cache line containing lineAddr (line-granular
+	// address, i.e. byte address >> 6) at processor cycle now, returning
+	// the cycle at which the line is available to the LLC.
+	Fetch(now uint64, lineAddr uint64) uint64
+	// Writeback enqueues a dirty line eviction at cycle now. The core
+	// never waits for writebacks; the returned completion cycle is for
+	// accounting.
+	Writeback(now uint64, lineAddr uint64) uint64
+}
+
+// Stats counts hierarchy events for the performance and energy models.
+type Stats struct {
+	L1IHits    uint64
+	L1IMisses  uint64
+	L1DHits    uint64
+	L1DMisses  uint64
+	L2Hits     uint64
+	L2Misses   uint64 // LLC misses = demand memory fetches
+	Writebacks uint64 // dirty LLC evictions sent to memory
+	WBForwards uint64 // loads served by the write buffer
+	WBStalls   uint64 // cycles the core stalled on a full write buffer
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.L1IHits += other.L1IHits
+	s.L1IMisses += other.L1IMisses
+	s.L1DHits += other.L1DHits
+	s.L1DMisses += other.L1DMisses
+	s.L2Hits += other.L2Hits
+	s.L2Misses += other.L2Misses
+	s.Writebacks += other.Writebacks
+	s.WBForwards += other.WBForwards
+	s.WBStalls += other.WBStalls
+}
+
+// set-associative cache with LRU. Lines are identified by line address
+// (byte addr / LineBytes). Valid entries have tag != invalidTag.
+const invalidTag = ^uint64(0)
+
+type Cache struct {
+	sets     int
+	ways     int
+	setShift uint // log2(sets)
+	tags     []uint64
+	dirty    []bool
+	lruTick  []uint64
+	tick     uint64
+}
+
+// NewCache builds a cache of the given total size and associativity.
+// Size must be a power-of-two multiple of ways*LineBytes.
+func NewCache(sizeBytes, ways int) *Cache {
+	lines := sizeBytes / LineBytes
+	if lines <= 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("cache: %d bytes / %d ways is not line-divisible", sizeBytes, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a power of two", sets))
+	}
+	c := &Cache{
+		sets:     sets,
+		ways:     ways,
+		setShift: uint(bits.TrailingZeros(uint(sets))),
+		tags:     make([]uint64, sets*ways),
+		dirty:    make([]bool, sets*ways),
+		lruTick:  make([]uint64, sets*ways),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
+}
+
+// Sets returns the number of sets (test hook).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity (test hook).
+func (c *Cache) Ways() int { return c.ways }
+
+func (c *Cache) setOf(lineAddr uint64) int {
+	return int(lineAddr & uint64(c.sets-1))
+}
+
+// Lookup probes for lineAddr, updating LRU on hit.
+func (c *Cache) Lookup(lineAddr uint64) bool {
+	base := c.setOf(lineAddr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == lineAddr {
+			c.tick++
+			c.lruTick[base+w] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDirty sets the dirty bit of a present line; it reports whether the
+// line was found.
+func (c *Cache) MarkDirty(lineAddr uint64) bool {
+	base := c.setOf(lineAddr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == lineAddr {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// IsDirty reports whether a present line is dirty (test hook).
+func (c *Cache) IsDirty(lineAddr uint64) bool {
+	base := c.setOf(lineAddr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == lineAddr {
+			return c.dirty[base+w]
+		}
+	}
+	return false
+}
+
+// Insert installs lineAddr (which must not be present), evicting the LRU
+// way if the set is full. It returns the evicted line and its dirty bit.
+func (c *Cache) Insert(lineAddr uint64, dirty bool) (victim uint64, victimDirty, evicted bool) {
+	base := c.setOf(lineAddr) * c.ways
+	way := -1
+	var oldest uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == invalidTag {
+			way = w
+			evicted = false
+			break
+		}
+		if c.lruTick[base+w] < oldest {
+			oldest = c.lruTick[base+w]
+			way = w
+		}
+	}
+	if c.tags[base+way] != invalidTag {
+		victim = c.tags[base+way]
+		victimDirty = c.dirty[base+way]
+		evicted = true
+	}
+	c.tick++
+	c.tags[base+way] = lineAddr
+	c.dirty[base+way] = dirty
+	c.lruTick[base+way] = c.tick
+	return victim, victimDirty, evicted
+}
+
+// Invalidate removes lineAddr if present, returning its dirty bit.
+func (c *Cache) Invalidate(lineAddr uint64) (wasDirty, wasPresent bool) {
+	base := c.setOf(lineAddr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == lineAddr {
+			wasDirty = c.dirty[base+w]
+			c.tags[base+w] = invalidTag
+			c.dirty[base+w] = false
+			return wasDirty, true
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,313 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	// Table 1: L1 32 KB 4-way → 128 sets; L2 1 MB 16-way → 1024 sets.
+	l1 := NewCache(32<<10, 4)
+	if l1.Sets() != 128 || l1.Ways() != 4 {
+		t.Fatalf("L1 geometry = %d sets × %d ways, want 128×4", l1.Sets(), l1.Ways())
+	}
+	l2 := NewCache(1<<20, 16)
+	if l2.Sets() != 1024 || l2.Ways() != 16 {
+		t.Fatalf("L2 geometry = %d sets × %d ways, want 1024×16", l2.Sets(), l2.Ways())
+	}
+}
+
+func TestCachePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCache accepted non-power-of-two sets")
+		}
+	}()
+	NewCache(3*64*4, 4) // 3 sets
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	c := NewCache(1<<12, 2)
+	if c.Lookup(7) {
+		t.Fatal("empty cache hit")
+	}
+	c.Insert(7, false)
+	if !c.Lookup(7) {
+		t.Fatal("inserted line missed")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(2*2*LineBytes, 2) // 2 sets × 2 ways
+	// Fill set 0 (even line addresses) with lines 0 and 2.
+	c.Insert(0, false)
+	c.Insert(2, false)
+	c.Lookup(0) // 0 is now MRU; 2 is LRU
+	victim, dirty, evicted := c.Insert(4, false)
+	if !evicted || victim != 2 || dirty {
+		t.Fatalf("evicted (%d, dirty=%v, %v), want clean line 2", victim, dirty, evicted)
+	}
+	if !c.Lookup(0) || !c.Lookup(4) || c.Lookup(2) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	c := NewCache(1<<12, 2)
+	c.Insert(5, false)
+	if c.IsDirty(5) {
+		t.Fatal("clean line reported dirty")
+	}
+	if !c.MarkDirty(5) {
+		t.Fatal("MarkDirty failed on present line")
+	}
+	if !c.IsDirty(5) {
+		t.Fatal("dirty bit lost")
+	}
+	if c.MarkDirty(99) {
+		t.Fatal("MarkDirty succeeded on absent line")
+	}
+	wasDirty, present := c.Invalidate(5)
+	if !wasDirty || !present {
+		t.Fatal("Invalidate lost dirty state")
+	}
+	if c.Lookup(5) {
+		t.Fatal("invalidated line still present")
+	}
+}
+
+// flatPort is a MemoryPort stub with fixed latency and request logging.
+type flatPort struct {
+	latency    uint64
+	fetches    []uint64
+	writebacks []uint64
+}
+
+func (p *flatPort) Fetch(now uint64, lineAddr uint64) uint64 {
+	p.fetches = append(p.fetches, lineAddr)
+	return now + p.latency
+}
+
+func (p *flatPort) Writeback(now uint64, lineAddr uint64) uint64 {
+	p.writebacks = append(p.writebacks, lineAddr)
+	return now + p.latency
+}
+
+func newTestHierarchy() (*Hierarchy, *flatPort) {
+	port := &flatPort{latency: 40}
+	return NewHierarchy(DefaultConfig(), port), port
+}
+
+func TestLoadHitLatencies(t *testing.T) {
+	h, port := newTestHierarchy()
+	cfg := h.Config()
+	// Cold load: L1D miss, L2 miss, memory.
+	done := h.Load(0, 0x1000)
+	wantCold := cfg.L1DHitLatency + cfg.L1DMissDetect + cfg.L2HitLatency + cfg.L2MissDetect + 40
+	if done != wantCold {
+		t.Fatalf("cold load done at %d, want %d", done, wantCold)
+	}
+	if len(port.fetches) != 1 {
+		t.Fatalf("memory fetches = %d, want 1", len(port.fetches))
+	}
+	// Warm load: L1D hit.
+	done2 := h.Load(1000, 0x1000)
+	if done2 != 1000+cfg.L1DHitLatency {
+		t.Fatalf("warm load done at %d, want %d", done2, 1000+cfg.L1DHitLatency)
+	}
+	if len(port.fetches) != 1 {
+		t.Fatal("warm load went to memory")
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h, port := newTestHierarchy()
+	h.Load(0, 0x1000)
+	// Evict 0x1000 from L1D by filling its set: L1D has 128 sets, so
+	// lines at stride 128*64 bytes collide.
+	base := uint64(0x1000)
+	for i := uint64(1); i <= 4; i++ {
+		h.Load(1000*i, base+i*128*64)
+	}
+	n := len(port.fetches)
+	cfg := h.Config()
+	done := h.Load(100000, base)
+	if got := done - 100000; got != cfg.L1DHitLatency+cfg.L1DMissDetect+cfg.L2HitLatency {
+		t.Fatalf("L2-hit load latency = %d, want %d", got, cfg.L1DHitLatency+cfg.L1DMissDetect+cfg.L2HitLatency)
+	}
+	if len(port.fetches) != n {
+		t.Fatal("L2 hit went to memory")
+	}
+	st := h.Stats()
+	if st.L2Hits == 0 {
+		t.Fatal("no L2 hits recorded")
+	}
+}
+
+func TestStoreMissUsesWriteBuffer(t *testing.T) {
+	h, port := newTestHierarchy()
+	// A store miss must return quickly (non-blocking) while the fetch
+	// proceeds in the background.
+	done := h.Store(0, 0x2000)
+	if done != 1 {
+		t.Fatalf("store done at %d, want 1 (non-blocking)", done)
+	}
+	if len(port.fetches) != 1 {
+		t.Fatalf("store miss issued %d fetches, want 1", len(port.fetches))
+	}
+	if h.OutstandingStores(2) != 1 {
+		t.Fatalf("outstanding stores = %d, want 1", h.OutstandingStores(2))
+	}
+}
+
+func TestWriteBufferForwardsToLoads(t *testing.T) {
+	h, _ := newTestHierarchy()
+	h.Store(0, 0x2000)
+	// A load to the same line before the fetch completes forwards from
+	// the write buffer instead of issuing a second fetch.
+	done := h.Load(5, 0x2000)
+	st := h.Stats()
+	if st.WBForwards != 1 {
+		t.Fatalf("WB forwards = %d, want 1", st.WBForwards)
+	}
+	if done < 5 {
+		t.Fatal("forwarded load completed in the past")
+	}
+}
+
+func TestWriteBufferFullStalls(t *testing.T) {
+	h, _ := newTestHierarchy()
+	// Issue 9 store misses to distinct lines back to back: the 9th must
+	// stall for the first to complete.
+	for i := uint64(0); i < 8; i++ {
+		if done := h.Store(i, 0x10000+i*64); done != i+1 {
+			t.Fatalf("store %d blocked early (done %d)", i, done)
+		}
+	}
+	done := h.Store(8, 0x90000)
+	if done <= 9 {
+		t.Fatalf("9th store did not stall: done at %d", done)
+	}
+	if h.Stats().WBStalls == 0 {
+		t.Fatal("no WB stall cycles recorded")
+	}
+}
+
+func TestConcurrentOutstandingMisses(t *testing.T) {
+	// The Req 3 scenario (Fig 4): several store misses in flight at once.
+	h, _ := newTestHierarchy()
+	for i := uint64(0); i < 4; i++ {
+		h.Store(i, 0x20000+i*64)
+	}
+	if got := h.OutstandingStores(5); got != 4 {
+		t.Fatalf("outstanding stores = %d, want 4", got)
+	}
+}
+
+func TestStoreHitMarksL1Dirty(t *testing.T) {
+	h, port := newTestHierarchy()
+	h.Load(0, 0x3000)
+	h.Store(100, 0x3000)
+	if len(port.fetches) != 1 {
+		t.Fatal("store hit went to memory")
+	}
+	// Force the line out of L1D and then out of L2: its dirtiness must
+	// produce exactly one writeback.
+	for i := uint64(1); i <= 4; i++ {
+		h.Load(1000*i, 0x3000+i*128*64) // evict from L1D (dirty folds to L2)
+	}
+	// Evict from L2: fill its set (1024 sets, stride 1024*64).
+	for i := uint64(1); i <= 16; i++ {
+		h.Load(100000*i, 0x3000+i*1024*64)
+	}
+	if len(port.writebacks) != 1 {
+		t.Fatalf("writebacks = %d, want 1", len(port.writebacks))
+	}
+	if port.writebacks[0] != 0x3000/LineBytes {
+		t.Fatalf("writeback line = %#x, want %#x", port.writebacks[0], 0x3000/LineBytes)
+	}
+}
+
+func TestInclusionBackInvalidation(t *testing.T) {
+	h, _ := newTestHierarchy()
+	h.Load(0, 0x4000)
+	// Evict the line from L2; inclusion requires it to leave L1D too.
+	for i := uint64(1); i <= 16; i++ {
+		h.Load(10000*i, 0x4000+i*1024*64)
+	}
+	st := h.Stats()
+	before := st.L2Misses
+	h.Load(1e9, 0x4000)
+	if got := h.Stats().L2Misses; got != before+1 {
+		t.Fatalf("re-load of back-invalidated line: L2Misses %d → %d, want miss", before, got)
+	}
+}
+
+func TestFetchInstrPaths(t *testing.T) {
+	h, port := newTestHierarchy()
+	cfg := h.Config()
+	done := h.FetchInstr(0, 0x8000)
+	if done <= cfg.L1IHitLatency {
+		t.Fatal("cold instruction fetch too fast")
+	}
+	if len(port.fetches) != 1 {
+		t.Fatalf("I-fetch memory requests = %d, want 1", len(port.fetches))
+	}
+	done2 := h.FetchInstr(1000, 0x8000)
+	if done2 != 1000+cfg.L1IHitLatency {
+		t.Fatalf("warm I-fetch done at %d, want %d", done2, 1000+cfg.L1IHitLatency)
+	}
+	st := h.Stats()
+	if st.L1IHits != 1 || st.L1IMisses != 1 {
+		t.Fatalf("L1I stats = %+v", st)
+	}
+}
+
+func TestFlushDrainsWriteBuffer(t *testing.T) {
+	h, _ := newTestHierarchy()
+	h.Store(0, 0x5000)
+	end := h.Flush(1)
+	if end < 1 {
+		t.Fatal("flush finished in the past")
+	}
+	if h.OutstandingStores(end) != 0 {
+		t.Fatal("write buffer not drained by Flush")
+	}
+	// The stored line must now be present and dirty in L1D (installed).
+	if done := h.Load(end+10, 0x5000); done != end+10+h.Config().L1DHitLatency {
+		t.Fatal("flushed line not installed in L1D")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{L1DHits: 1, L2Misses: 2, Writebacks: 3}
+	b := Stats{L1DHits: 10, WBForwards: 5}
+	a.Add(b)
+	if a.L1DHits != 11 || a.L2Misses != 2 || a.Writebacks != 3 || a.WBForwards != 5 {
+		t.Fatalf("Add produced %+v", a)
+	}
+}
+
+func TestCacheFunctionalVsOracle(t *testing.T) {
+	// Property: a cache is a subset-tracker — after any op sequence, a
+	// Lookup hit implies the line was inserted and not since invalidated
+	// by capacity. We check the weaker but useful invariant that the
+	// cache never "hits" a line that was never inserted.
+	c := NewCache(1<<10, 2)
+	inserted := map[uint64]bool{}
+	f := func(ops []uint16) bool {
+		for _, op := range ops {
+			line := uint64(op % 512)
+			if op%3 == 0 {
+				c.Insert(line, false)
+				inserted[line] = true
+			} else if c.Lookup(line) && !inserted[line] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

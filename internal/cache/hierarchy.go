@@ -1,0 +1,294 @@
+package cache
+
+// Hierarchy wires L1I, L1D, the inclusive L2 (LLC), and the non-blocking
+// write buffer into the access paths the core uses. Timing constants follow
+// Table 1 ("hit+miss latencies"): an L1D hit costs 2 cycles plus 1 more to
+// detect a miss; an L2 hit costs 10 plus 4 to detect a miss before the
+// request leaves for main memory.
+type Config struct {
+	L1SizeBytes      int
+	L1Ways           int
+	L2SizeBytes      int
+	L2Ways           int
+	WriteBufEntries  int
+	L1IHitLatency    uint64
+	L1DHitLatency    uint64
+	L1DMissDetect    uint64
+	L2HitLatency     uint64
+	L2MissDetect     uint64
+	WBForwardLatency uint64
+}
+
+// DefaultConfig returns Table 1's hierarchy: 32 KB 4-way L1s, a 1 MB 16-way
+// LLC, 8 write-buffer entries.
+func DefaultConfig() Config {
+	return Config{
+		L1SizeBytes:      32 << 10,
+		L1Ways:           4,
+		L2SizeBytes:      1 << 20,
+		L2Ways:           16,
+		WriteBufEntries:  8,
+		L1IHitLatency:    1,
+		L1DHitLatency:    2,
+		L1DMissDetect:    1,
+		L2HitLatency:     10,
+		L2MissDetect:     4,
+		WBForwardLatency: 2,
+	}
+}
+
+// wbEntry is one in-flight store miss: the line being fetched for ownership
+// and when the fetch completes.
+type wbEntry struct {
+	lineAddr uint64
+	doneAt   uint64
+	valid    bool
+}
+
+// Hierarchy is the full on-chip memory system in front of a MemoryPort.
+type Hierarchy struct {
+	cfg  Config
+	l1i  *Cache
+	l1d  *Cache
+	l2   *Cache
+	mem  MemoryPort
+	wb   []wbEntry
+	stat Stats
+}
+
+// NewHierarchy builds an empty hierarchy over the given memory port.
+func NewHierarchy(cfg Config, mem MemoryPort) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1i: NewCache(cfg.L1SizeBytes, cfg.L1Ways),
+		l1d: NewCache(cfg.L1SizeBytes, cfg.L1Ways),
+		l2:  NewCache(cfg.L2SizeBytes, cfg.L2Ways),
+		mem: mem,
+		wb:  make([]wbEntry, cfg.WriteBufEntries),
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (h *Hierarchy) Stats() Stats { return h.stat }
+
+// ResetStats zeroes the event counters, leaving cache contents and
+// in-flight write-buffer entries untouched (end-of-warmup hook).
+func (h *Hierarchy) ResetStats() { h.stat = Stats{} }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// drainWB retires write-buffer entries whose fetches completed by cycle now,
+// installing their lines dirty into L1D/L2.
+func (h *Hierarchy) drainWB(now uint64) {
+	for i := range h.wb {
+		if h.wb[i].valid && h.wb[i].doneAt <= now {
+			h.installLine(h.wb[i].doneAt, h.wb[i].lineAddr, true)
+			h.wb[i].valid = false
+		}
+	}
+}
+
+// wbLookup reports whether lineAddr is in flight in the write buffer.
+func (h *Hierarchy) wbLookup(lineAddr uint64) (doneAt uint64, ok bool) {
+	for i := range h.wb {
+		if h.wb[i].valid && h.wb[i].lineAddr == lineAddr {
+			return h.wb[i].doneAt, true
+		}
+	}
+	return 0, false
+}
+
+// installLine inserts a line into L2 (inclusive) and L1D, handling
+// evictions: L2 victims are back-invalidated from the L1s and written back
+// to memory if dirty anywhere; L1D victims fold their dirty bit into L2.
+func (h *Hierarchy) installLine(now uint64, lineAddr uint64, dirty bool) {
+	if !h.l2.Lookup(lineAddr) {
+		victim, victimDirty, evicted := h.l2.Insert(lineAddr, dirty)
+		if evicted {
+			// Inclusive LLC: remove the victim from both L1s.
+			d1, _ := h.l1d.Invalidate(victim)
+			h.l1i.Invalidate(victim)
+			if victimDirty || d1 {
+				h.stat.Writebacks++
+				h.mem.Writeback(now, victim)
+			}
+		}
+	} else if dirty {
+		h.l2.MarkDirty(lineAddr)
+	}
+	if !h.l1d.Lookup(lineAddr) {
+		victim, victimDirty, evicted := h.l1d.Insert(lineAddr, dirty)
+		if evicted && victimDirty {
+			// L2 is inclusive, so the victim is present there; fold the
+			// dirty bit in.
+			h.l2.MarkDirty(victim)
+		}
+	} else if dirty {
+		h.l1d.MarkDirty(lineAddr)
+	}
+}
+
+// fetchIntoL2 misses all the way to memory and installs the line in L2 only
+// (instruction refills do not pollute L1D).
+func (h *Hierarchy) fetchIntoL2(now uint64, lineAddr uint64) uint64 {
+	done := h.mem.Fetch(now, lineAddr)
+	victim, victimDirty, evicted := h.l2.Insert(lineAddr, false)
+	if evicted {
+		d1, _ := h.l1d.Invalidate(victim)
+		h.l1i.Invalidate(victim)
+		if victimDirty || d1 {
+			h.stat.Writebacks++
+			h.mem.Writeback(done, victim)
+		}
+	}
+	return done
+}
+
+// Load performs a data load at byte address addr issued at cycle now and
+// returns the cycle at which the value is available to the core. Loads are
+// blocking (in-order core), but first check the write buffer for an
+// in-flight line.
+func (h *Hierarchy) Load(now uint64, addr uint64) uint64 {
+	h.drainWB(now)
+	lineAddr := addr / LineBytes
+
+	if doneAt, ok := h.wbLookup(lineAddr); ok {
+		// Forward from the in-flight store miss: data is available when
+		// the fetch completes (or immediately if it already has).
+		h.stat.WBForwards++
+		t := now
+		if doneAt > t {
+			t = doneAt
+		}
+		return t + h.cfg.WBForwardLatency
+	}
+
+	if h.l1d.Lookup(lineAddr) {
+		h.stat.L1DHits++
+		return now + h.cfg.L1DHitLatency
+	}
+	h.stat.L1DMisses++
+	t := now + h.cfg.L1DHitLatency + h.cfg.L1DMissDetect
+
+	if h.l2.Lookup(lineAddr) {
+		h.stat.L2Hits++
+		t += h.cfg.L2HitLatency
+		h.installLine(t, lineAddr, false)
+		return t
+	}
+	h.stat.L2Misses++
+	t += h.cfg.L2HitLatency + h.cfg.L2MissDetect
+	done := h.mem.Fetch(t, lineAddr)
+	h.installLine(done, lineAddr, false)
+	return done
+}
+
+// Store performs a data store at byte address addr issued at cycle now and
+// returns the cycle at which the core may proceed. Store hits update L1D;
+// store misses allocate a write-buffer entry and return immediately unless
+// the buffer is full, in which case the core stalls for the oldest entry.
+func (h *Hierarchy) Store(now uint64, addr uint64) uint64 {
+	h.drainWB(now)
+	lineAddr := addr / LineBytes
+
+	if h.l1d.Lookup(lineAddr) {
+		h.stat.L1DHits++
+		h.l1d.MarkDirty(lineAddr)
+		return now + 1
+	}
+	if _, ok := h.wbLookup(lineAddr); ok {
+		// Coalesce into the in-flight entry.
+		h.stat.WBForwards++
+		return now + 1
+	}
+	h.stat.L1DMisses++
+
+	// L2 hit: pull the line into L1D dirty without a memory round trip.
+	if h.l2.Lookup(lineAddr) {
+		h.stat.L2Hits++
+		h.installLine(now+h.cfg.L2HitLatency, lineAddr, true)
+		return now + 1
+	}
+	h.stat.L2Misses++
+
+	// Allocate a write-buffer entry; stall if full.
+	start := now
+	slot := -1
+	for {
+		var oldest uint64 = ^uint64(0)
+		for i := range h.wb {
+			if !h.wb[i].valid {
+				slot = i
+				break
+			}
+			if h.wb[i].doneAt < oldest {
+				oldest = h.wb[i].doneAt
+			}
+		}
+		if slot >= 0 {
+			break
+		}
+		// Full: wait for the earliest completion, then drain and retry.
+		h.stat.WBStalls += oldest - start
+		start = oldest
+		h.drainWB(start)
+	}
+	issue := start + h.cfg.L1DHitLatency + h.cfg.L1DMissDetect + h.cfg.L2HitLatency + h.cfg.L2MissDetect
+	h.wb[slot] = wbEntry{lineAddr: lineAddr, doneAt: h.mem.Fetch(issue, lineAddr), valid: true}
+	return start + 1
+}
+
+// FetchInstr performs an instruction fetch for the line containing pc at
+// cycle now, returning the cycle the instruction bytes are available.
+// Sequential fetch within a hit line is modeled as free by the caller; this
+// is invoked once per line crossing.
+func (h *Hierarchy) FetchInstr(now uint64, pc uint64) uint64 {
+	lineAddr := pc / LineBytes
+	if h.l1i.Lookup(lineAddr) {
+		h.stat.L1IHits++
+		return now + h.cfg.L1IHitLatency
+	}
+	h.stat.L1IMisses++
+	t := now + h.cfg.L1IHitLatency
+	if h.l2.Lookup(lineAddr) {
+		h.stat.L2Hits++
+		t += h.cfg.L2HitLatency
+	} else {
+		h.stat.L2Misses++
+		t = h.fetchIntoL2(t+h.cfg.L2HitLatency+h.cfg.L2MissDetect, lineAddr)
+	}
+	victim, victimDirty, evicted := h.l1i.Insert(lineAddr, false)
+	if evicted && victimDirty {
+		h.l2.MarkDirty(victim)
+	}
+	return t
+}
+
+// OutstandingStores returns the number of in-flight write-buffer entries at
+// cycle now (test hook for the Req 3 concurrency scenario of Fig 4).
+func (h *Hierarchy) OutstandingStores(now uint64) int {
+	n := 0
+	for i := range h.wb {
+		if h.wb[i].valid && h.wb[i].doneAt > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush drains the write buffer and writes back every dirty LLC line,
+// modeling program exit. It returns the cycle when memory is quiescent.
+func (h *Hierarchy) Flush(now uint64) uint64 {
+	end := now
+	for i := range h.wb {
+		if h.wb[i].valid {
+			if h.wb[i].doneAt > end {
+				end = h.wb[i].doneAt
+			}
+			h.installLine(h.wb[i].doneAt, h.wb[i].lineAddr, true)
+			h.wb[i].valid = false
+		}
+	}
+	return end
+}

@@ -1,0 +1,102 @@
+package core
+
+// Baseline memory controllers from §9.1.6. Both implement cache.MemoryPort.
+
+// FlatMemory is base_dram: an insecure DRAM controller with a flat
+// per-access latency (40 cycles in the paper's timing model) and no
+// bandwidth modeling. Writebacks complete in the background.
+type FlatMemory struct {
+	// Latency is the flat access latency in cycles.
+	Latency uint64
+
+	// Fetches and Writebacks count line transfers for the energy model.
+	Fetches    uint64
+	Writebacks uint64
+}
+
+// NewFlatMemory returns a base_dram controller with the given latency.
+func NewFlatMemory(latency uint64) *FlatMemory {
+	return &FlatMemory{Latency: latency}
+}
+
+// Fetch implements cache.MemoryPort.
+func (m *FlatMemory) Fetch(now uint64, lineAddr uint64) uint64 {
+	_ = lineAddr
+	m.Fetches++
+	return now + m.Latency
+}
+
+// ResetStats zeroes the transfer counters (end-of-warmup hook).
+func (m *FlatMemory) ResetStats() { m.Fetches, m.Writebacks = 0, 0 }
+
+// Writeback implements cache.MemoryPort.
+func (m *FlatMemory) Writeback(now uint64, lineAddr uint64) uint64 {
+	_ = lineAddr
+	m.Writebacks++
+	return now + m.Latency
+}
+
+// LineTransfers is the total number of cache lines moved.
+func (m *FlatMemory) LineTransfers() uint64 { return m.Fetches + m.Writebacks }
+
+// UnshieldedORAM is base_oram: a Path ORAM controller with no timing
+// protection (e.g. [26]). Accesses are serialized back-to-back on demand —
+// a performance/power oracle relative to the shielded schemes, but insecure
+// over the timing channel (§1.1.1).
+type UnshieldedORAM struct {
+	// Latency is OLAT, the per-access cycle latency.
+	Latency uint64
+
+	busyUntil uint64
+	stats     Stats
+	slots     []Slot
+	// RecordSlots enables the access-time trace used by the adversary
+	// model (every access time is observable — unbounded leakage).
+	RecordSlots bool
+}
+
+// NewUnshieldedORAM returns a base_oram controller.
+func NewUnshieldedORAM(latency uint64) *UnshieldedORAM {
+	return &UnshieldedORAM{Latency: latency}
+}
+
+// Fetch implements cache.MemoryPort: the access starts as soon as the ORAM
+// is free.
+func (o *UnshieldedORAM) Fetch(now uint64, lineAddr uint64) uint64 {
+	_ = lineAddr
+	start := now
+	if o.busyUntil > start {
+		start = o.busyUntil
+	}
+	o.stats.RealAccesses++
+	o.stats.DemandServed++
+	if o.RecordSlots {
+		o.slots = append(o.slots, Slot{Start: start, Kind: SlotDemand})
+	}
+	o.busyUntil = start + o.Latency
+	return o.busyUntil
+}
+
+// Writeback implements cache.MemoryPort: as with the shielded controller,
+// dirty evictions are absorbed into the stash and written out with later
+// path writes (see Enforcer.Writeback), so they cost no dedicated access.
+func (o *UnshieldedORAM) Writeback(now uint64, lineAddr uint64) uint64 {
+	_ = lineAddr
+	o.stats.WritebacksDone++
+	return now
+}
+
+// Stats returns the access counters.
+func (o *UnshieldedORAM) Stats() Stats { return o.stats }
+
+// Slots returns the recorded access trace (requires RecordSlots).
+func (o *UnshieldedORAM) Slots() []Slot { return o.slots }
+
+// Sync is a no-op: the unshielded controller never issues background work.
+func (o *UnshieldedORAM) Sync(t uint64) {}
+
+// ResetStats zeroes counters and the slot trace (end-of-warmup hook).
+func (o *UnshieldedORAM) ResetStats() {
+	o.stats = Stats{}
+	o.slots = o.slots[:0]
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+)
+
+// RateChange records one epoch transition: the cycle it took effect and the
+// rate chosen for the new epoch. The sequence of RateChanges is exactly the
+// information the timing channel can leak — at most lg|R| bits per epoch
+// (§2.2.1) — and drives both the Fig 7 epoch markers and the adversary's
+// trace reconstruction.
+type RateChange struct {
+	Cycle uint64
+	Rate  uint64
+	Epoch int
+}
+
+// EnforcerConfig configures a shielded ORAM controller frontend.
+type EnforcerConfig struct {
+	// ORAMLatency is the cycle latency of one ORAM access (OLAT).
+	ORAMLatency uint64
+	// Rates is the allowed rate set R, sorted ascending. A single-element
+	// set with a nil Schedule gives the static schemes of §9.1.6.
+	Rates []uint64
+	// InitialRate is the rate used during epoch 0 (§9.2: 10000). It need
+	// not be a member of R; the paper allows "any (e.g., a random) value".
+	InitialRate uint64
+	// Schedule is the epoch schedule; zero-valued means static (no epoch
+	// transitions, the InitialRate applies forever).
+	Schedule EpochSchedule
+	// Predictor and Discretizer select learner variants (defaults:
+	// ShiftPredictor, LinearDiscretizer — the paper's hardware).
+	Predictor   Predictor
+	Discretizer Discretizer
+	// RecordSlots enables recording of every access start time and kind,
+	// used by the security property tests and the adversary model. Off by
+	// default: the record grows with every access.
+	RecordSlots bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c EnforcerConfig) Validate() error {
+	if c.ORAMLatency == 0 {
+		return fmt.Errorf("core: ORAMLatency must be positive")
+	}
+	if len(c.Rates) == 0 {
+		return fmt.Errorf("core: empty rate set")
+	}
+	for i := 1; i < len(c.Rates); i++ {
+		if c.Rates[i] <= c.Rates[i-1] {
+			return fmt.Errorf("core: rate set must be strictly ascending, got %v", c.Rates)
+		}
+	}
+	if c.Schedule != (EpochSchedule{}) {
+		if err := c.Schedule.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Static reports whether the enforcer never changes rate.
+func (c EnforcerConfig) Static() bool { return c.Schedule == (EpochSchedule{}) }
+
+// SlotKind classifies an enforced access.
+type SlotKind uint8
+
+const (
+	// SlotDummy is an indistinguishable dummy access (no pending work).
+	SlotDummy SlotKind = iota
+	// SlotDemand served a demand fetch (LLC miss).
+	SlotDemand
+)
+
+// Slot is one enforced ORAM access as recorded for analysis. Kind is
+// invisible to the adversary — every slot looks identical on the bus.
+type Slot struct {
+	Start uint64
+	Kind  SlotKind
+}
+
+// Stats aggregates enforcer activity for the performance/energy models.
+type Stats struct {
+	RealAccesses   uint64 // demand fetches served by slots
+	DummyAccesses  uint64
+	DemandServed   uint64
+	WritebacksDone uint64 // dirty lines absorbed into the stash (no slot)
+}
+
+// TotalAccesses is the number of ORAM accesses of any kind — each moves a
+// full path and costs the full access energy.
+func (s Stats) TotalAccesses() uint64 { return s.RealAccesses + s.DummyAccesses }
+
+// DummyFraction is the share of accesses that were dummies (§9.3 reports
+// 34% on average for the dynamic scheme).
+func (s Stats) DummyFraction() float64 {
+	t := s.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.DummyAccesses) / float64(t)
+}
+
+// Enforcer is the leakage-aware ORAM controller frontend. It implements
+// cache.MemoryPort. Access timing is fully determined by the per-epoch rate
+// sequence: access i+1 starts exactly rate cycles after access i completes
+// (§2.1), with an indistinguishable dummy issued whenever no real request is
+// pending at a slot. Only the rate sequence — |R| choices at |E| epoch
+// boundaries — depends on the program, which is what bounds leakage.
+//
+// Dirty LLC evictions do not issue their own ORAM accesses: as in the
+// secure-processor Path ORAM designs the paper builds on ([26], Phantom),
+// the evicted line is absorbed into the controller's stash and written out
+// during the write-back phase of subsequent path accesses (every access —
+// real or dummy — rewrites a full path, with ample slack for one extra
+// block). Writebacks therefore cost neither slots nor extra energy beyond
+// the path writes that happen anyway.
+type Enforcer struct {
+	cfg  EnforcerConfig
+	rate uint64
+
+	lastEnd  uint64 // completion cycle of the most recent access
+	epoch    int
+	anchor   uint64 // cycle at which epoch 0 began (0, or the ResetAt time)
+	epochEnd uint64 // boundary of the current epoch (max uint64 if static)
+
+	counters Counters
+	epochLen uint64 // length of the current epoch
+	// wasteCovered is the cycle up to which time has been classified as
+	// Waste or real service. Waste uses the paper's wall-clock semantics
+	// (Fig 4): it counts cycles during which real work was pending but
+	// ORAM was waiting or running a dummy — never double-counting
+	// overlapping waits from concurrent requests. For back-to-back
+	// requests this adds exactly the rate value per access (Req 3).
+	wasteCovered uint64
+
+	stats       Stats
+	rateHistory []RateChange
+	slots       []Slot
+}
+
+// NewEnforcer builds an enforcer at cycle 0. The first access slot opens
+// after one full rate interval, and epoch 0 begins immediately.
+func NewEnforcer(cfg EnforcerConfig) (*Enforcer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.InitialRate == 0 {
+		cfg.InitialRate = cfg.Rates[len(cfg.Rates)-1]
+	}
+	e := &Enforcer{cfg: cfg, rate: cfg.InitialRate}
+	if cfg.Static() {
+		e.epochEnd = ^uint64(0)
+		e.epochLen = ^uint64(0)
+	} else {
+		e.epochEnd = cfg.Schedule.Boundary(0)
+		e.epochLen = cfg.Schedule.Length(0)
+	}
+	e.rateHistory = append(e.rateHistory, RateChange{Cycle: 0, Rate: e.rate, Epoch: 0})
+	return e, nil
+}
+
+// Rate returns the rate in force.
+func (e *Enforcer) Rate() uint64 { return e.rate }
+
+// Epoch returns the current epoch index.
+func (e *Enforcer) Epoch() int { return e.epoch }
+
+// Stats returns a copy of the activity counters.
+func (e *Enforcer) Stats() Stats { return e.stats }
+
+// CountersNow returns the live epoch counters (test hook for Fig 4
+// scenarios).
+func (e *Enforcer) CountersNow() Counters { return e.counters }
+
+// RateChanges returns the epoch transition history (Fig 7 markers; the
+// leaked information).
+func (e *Enforcer) RateChanges() []RateChange { return e.rateHistory }
+
+// Slots returns the recorded access trace (requires RecordSlots).
+func (e *Enforcer) Slots() []Slot { return e.slots }
+
+// record appends to the slot trace when enabled and updates stats.
+func (e *Enforcer) record(start uint64, kind SlotKind) {
+	switch kind {
+	case SlotDummy:
+		e.stats.DummyAccesses++
+	case SlotDemand:
+		e.stats.RealAccesses++
+		e.stats.DemandServed++
+	}
+	if e.cfg.RecordSlots {
+		e.slots = append(e.slots, Slot{Start: start, Kind: kind})
+	}
+}
+
+// maybeTransition applies every epoch boundary that lastEnd has crossed:
+// the learner computes a new rate from the finished epoch's counters and
+// the counters reset. Transitions are clock events — they occur at fixed,
+// data-independent cycles (§6).
+func (e *Enforcer) maybeTransition() {
+	for e.lastEnd >= e.epochEnd {
+		raw := e.cfg.Predictor.Predict(e.epochLen, e.counters)
+		e.rate = e.cfg.Discretizer.Apply(raw, e.cfg.Rates)
+		e.counters.Reset()
+		e.epoch++
+		e.epochLen = e.cfg.Schedule.Length(e.epoch)
+		e.epochEnd = e.anchor + e.cfg.Schedule.Boundary(e.epoch)
+		e.rateHistory = append(e.rateHistory, RateChange{Cycle: e.epochEnd - e.epochLen, Rate: e.rate, Epoch: e.epoch})
+	}
+}
+
+// advanceTo processes every slot that starts before cycle t as a dummy
+// access. Runs of dummy slots are computed arithmetically rather than one
+// at a time, with epoch boundaries segmenting the bulk steps.
+func (e *Enforcer) advanceTo(t uint64) {
+	for {
+		e.maybeTransition()
+		slot := e.lastEnd + e.rate
+		if slot >= t {
+			return
+		}
+		// A run of dummy slots. Slot i starts at slot + i*period and
+		// completes olat later. The run is bounded by two events, after
+		// either of which the loop must re-evaluate state:
+		//   - a slot start reaching t (nothing further has "happened");
+		//   - a completion crossing the epoch boundary (rate may change).
+		period := e.rate + e.cfg.ORAMLatency
+		n := uint64(1)
+		if t > slot+period {
+			n += (t - slot - 1) / period // slots starting strictly before t
+		}
+		if firstDone := slot + e.cfg.ORAMLatency; firstDone < e.epochEnd {
+			// Smallest i with completion ≥ boundary, inclusive: that slot
+			// still runs under the old rate; the transition fires after.
+			crossing := 1 + (e.epochEnd-firstDone+period-1)/period
+			if crossing < n {
+				n = crossing
+			}
+		} else if e.epochEnd <= firstDone {
+			n = 1
+		}
+		for i := uint64(0); i < n; i++ {
+			e.record(slot+i*period, SlotDummy)
+		}
+		e.lastEnd = slot + (n-1)*period + e.cfg.ORAMLatency
+	}
+}
+
+// Fetch implements cache.MemoryPort: a demand LLC miss at cycle now. The
+// request is served by the first slot at or after now (demand has priority
+// over queued writebacks) and the core resumes when the access completes.
+func (e *Enforcer) Fetch(now uint64, lineAddr uint64) uint64 {
+	_ = lineAddr // the enforcer's timing is address-independent by design
+	e.advanceTo(now)
+	// Invariant: advanceTo leaves the next slot at or after now, so the
+	// demand is served by the first slot of the fixed grid — never at an
+	// ad-hoc time, which would break the schedule's data-independence.
+	slot := e.lastEnd + e.rate
+	from := now
+	if e.wasteCovered > from {
+		from = e.wasteCovered
+	}
+	if slot > from {
+		e.counters.Waste += slot - from
+	}
+	e.wasteCovered = slot + e.cfg.ORAMLatency
+	e.counters.AccessCount++
+	e.counters.ORAMCycles += e.cfg.ORAMLatency
+	e.record(slot, SlotDemand)
+	e.lastEnd = slot + e.cfg.ORAMLatency
+	return e.lastEnd
+}
+
+// Writeback implements cache.MemoryPort: the dirty line is absorbed into
+// the controller stash immediately and flows out with later path writes, so
+// it completes (from the core's perspective) at once.
+func (e *Enforcer) Writeback(now uint64, lineAddr uint64) uint64 {
+	_ = lineAddr
+	e.advanceTo(now)
+	e.stats.WritebacksDone++
+	return now
+}
+
+// Sync advances internal time to cycle t, issuing the dummy accesses due
+// before t. The simulator calls this at window boundaries and at program
+// end so access counts are complete.
+func (e *Enforcer) Sync(t uint64) { e.advanceTo(t) }
+
+// ResetAt re-anchors the enforcer at cycle t with fresh statistics, rate
+// history and epoch schedule, as if the session began there: epoch 0 spans
+// [t, t+FirstLen) and the rate reverts to the initial rate. The simulator
+// calls this at the end of cache warmup, matching the paper's fast-forward
+// methodology (§9.1.1) — measurement and leakage accounting start after
+// program initialization.
+func (e *Enforcer) ResetAt(t uint64) {
+	e.advanceTo(t)
+	e.rate = e.cfg.InitialRate
+	e.lastEnd = t
+	e.epoch = 0
+	e.anchor = t
+	if e.cfg.Static() {
+		e.epochEnd = ^uint64(0)
+		e.epochLen = ^uint64(0)
+	} else {
+		e.epochLen = e.cfg.Schedule.Length(0)
+		e.epochEnd = t + e.epochLen
+	}
+	e.counters.Reset()
+	e.wasteCovered = t
+	e.stats = Stats{}
+	e.rateHistory = append(e.rateHistory[:0], RateChange{Cycle: t, Rate: e.rate, Epoch: 0})
+	e.slots = e.slots[:0]
+}

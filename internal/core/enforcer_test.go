@@ -1,0 +1,463 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Test constants chosen small so hand-computed traces stay readable.
+const (
+	tOLAT = 100
+	tRate = 50
+)
+
+func staticEnforcer(t *testing.T, rate uint64) *Enforcer {
+	t.Helper()
+	e, err := NewEnforcer(EnforcerConfig{
+		ORAMLatency: tOLAT,
+		Rates:       []uint64{rate},
+		InitialRate: rate,
+		RecordSlots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEnforcerConfigValidate(t *testing.T) {
+	good := EnforcerConfig{ORAMLatency: 10, Rates: []uint64{5, 10}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []EnforcerConfig{
+		{ORAMLatency: 0, Rates: []uint64{5}},
+		{ORAMLatency: 10, Rates: nil},
+		{ORAMLatency: 10, Rates: []uint64{5, 5}},
+		{ORAMLatency: 10, Rates: []uint64{9, 5}},
+		{ORAMLatency: 10, Rates: []uint64{5}, Schedule: EpochSchedule{FirstLen: 0, Growth: 2}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestFirstSlotOpensAfterOneRate(t *testing.T) {
+	e := staticEnforcer(t, tRate)
+	// A request at cycle 0 is served by the first slot at cycle rate.
+	done := e.Fetch(0, 1)
+	if done != tRate+tOLAT {
+		t.Fatalf("first fetch done at %d, want %d", done, tRate+tOLAT)
+	}
+}
+
+func TestSlotGridIsPeriodic(t *testing.T) {
+	e := staticEnforcer(t, tRate)
+	// Back-to-back demands occupy consecutive slots: each starts exactly
+	// rate cycles after the previous completes (§2.1's definition).
+	var prevDone uint64
+	for i := 0; i < 5; i++ {
+		done := e.Fetch(prevDone, uint64(i))
+		if done != prevDone+tRate+tOLAT {
+			t.Fatalf("access %d done at %d, want %d", i, done, prevDone+tRate+tOLAT)
+		}
+		prevDone = done
+	}
+	starts := SlotStarts(e.Slots())
+	for i := 1; i < len(starts); i++ {
+		if starts[i]-starts[i-1] != tRate+tOLAT {
+			t.Fatalf("slot %d gap = %d, want %d", i, starts[i]-starts[i-1], tRate+tOLAT)
+		}
+	}
+}
+
+func TestIdleGapFillsWithDummies(t *testing.T) {
+	e := staticEnforcer(t, tRate)
+	// No requests until cycle 1000: slots at 50, 200, 350, ... fire as
+	// dummies. Slots with start < 1000: 50+150k < 1000 → k ≤ 6 → 7 slots.
+	done := e.Fetch(1000, 1)
+	st := e.Stats()
+	if st.DummyAccesses != 7 {
+		t.Fatalf("dummy accesses = %d, want 7", st.DummyAccesses)
+	}
+	// 7th dummy: start 950, completes 1050; demand slot at 1100.
+	if done != 1100+tOLAT {
+		t.Fatalf("fetch done at %d, want %d", done, 1100+tOLAT)
+	}
+}
+
+func TestFig4Req1OversetRate(t *testing.T) {
+	// Req 1 (Fig 4): the rate is overset — a request arrives while ORAM
+	// idles waiting for the slot; Waste grows by the wait (≤ r).
+	e := staticEnforcer(t, 1000)
+	// First slot at 1000. Request arrives at 400: waits 600.
+	e.Fetch(400, 1)
+	c := e.CountersNow()
+	if c.Waste != 600 {
+		t.Fatalf("Waste = %d, want 600", c.Waste)
+	}
+	if c.AccessCount != 1 {
+		t.Fatalf("AccessCount = %d, want 1", c.AccessCount)
+	}
+	if c.ORAMCycles != tOLAT {
+		t.Fatalf("ORAMCycles = %d, want %d", c.ORAMCycles, tOLAT)
+	}
+}
+
+func TestFig4Req2UndersetRate(t *testing.T) {
+	// Req 2 (Fig 4): the rate is underset — the request arrives while a
+	// dummy is in flight and must wait for the dummy plus the next gap.
+	e := staticEnforcer(t, tRate)
+	// Dummy slot at 50 runs [50,150). Request at cycle 60:
+	// waits through the dummy (90 cycles) plus the rate gap (50).
+	done := e.Fetch(60, 1)
+	if done != 200+tOLAT {
+		t.Fatalf("fetch done at %d, want %d (slot 200)", done, 200+tOLAT)
+	}
+	c := e.CountersNow()
+	if c.Waste != 140 {
+		t.Fatalf("Waste = %d, want 140 (dummy remainder 90 + gap 50)", c.Waste)
+	}
+	if st := e.Stats(); st.DummyAccesses != 1 {
+		t.Fatalf("dummies = %d, want 1", st.DummyAccesses)
+	}
+}
+
+func TestFig4Req3MultipleOutstanding(t *testing.T) {
+	// Req 3 (Fig 4): multiple outstanding misses are served back to back.
+	// Waste uses wall-clock semantics — overlapping waits are not double
+	// counted, so the queued request adds exactly the rate's cycle value
+	// ("we add the rate's cycle value to Waste", §7.1.1).
+	e := staticEnforcer(t, tRate)
+	d1 := e.Fetch(0, 1) // slot 50, done 150
+	if d1 != 150 {
+		t.Fatalf("first done = %d, want 150", d1)
+	}
+	// Second request issued at cycle 10, while the first is pending: it
+	// gets the next slot at 200.
+	d2 := e.Fetch(10, 2)
+	if d2 != 300 {
+		t.Fatalf("second done = %d, want 300", d2)
+	}
+	c := e.CountersNow()
+	// Waste: req1's wait [0,50) = 50, plus the rate gap [150,200) = 50.
+	// The overlap of req2's queueing with req1's wait/service is not
+	// recounted.
+	if c.Waste != 50+tRate {
+		t.Fatalf("Waste = %d, want %d", c.Waste, 50+tRate)
+	}
+	if c.AccessCount != 2 {
+		t.Fatalf("AccessCount = %d, want 2", c.AccessCount)
+	}
+}
+
+func TestWritebacksAbsorbedWithoutSlots(t *testing.T) {
+	// Dirty evictions are absorbed into the controller stash ([26]-style)
+	// and cost no slots: they neither delay demands nor displace dummies.
+	e := staticEnforcer(t, tRate)
+	if done := e.Writeback(0, 7); done != 0 {
+		t.Fatalf("writeback completion = %d, want immediate (0)", done)
+	}
+	e.Writeback(10, 8)
+	e.Sync(1000)
+	st := e.Stats()
+	if st.WritebacksDone != 2 {
+		t.Fatalf("writebacks done = %d, want 2", st.WritebacksDone)
+	}
+	// All slots before cycle 1000 remain dummies: 50+150k < 1000 → 7.
+	if st.DummyAccesses != 7 {
+		t.Fatalf("dummies = %d, want 7", st.DummyAccesses)
+	}
+	if st.RealAccesses != 0 {
+		t.Fatalf("real accesses = %d, want 0 (writebacks are not accesses)", st.RealAccesses)
+	}
+	// Waste is untouched: absorbed writebacks are not queued work.
+	if c := e.CountersNow(); c.Waste != 0 || c.AccessCount != 0 {
+		t.Fatalf("counters disturbed by writebacks: %+v", c)
+	}
+}
+
+func TestWritebackDoesNotDelayDemand(t *testing.T) {
+	e := staticEnforcer(t, tRate)
+	e.Writeback(0, 7)
+	// The demand still gets the very first slot.
+	if done := e.Fetch(0, 1); done != 150 {
+		t.Fatalf("demand done = %d, want 150", done)
+	}
+	st := e.Stats()
+	if st.WritebacksDone != 1 || st.DemandServed != 1 {
+		t.Fatalf("stats = %+v, want 1 demand + 1 absorbed writeback", st)
+	}
+}
+
+func TestEpochTransitionChangesRate(t *testing.T) {
+	// Epoch 0 is busy (fast offered load) → learner picks a fast rate.
+	e, err := NewEnforcer(EnforcerConfig{
+		ORAMLatency: tOLAT,
+		Rates:       []uint64{64, 512, 4096},
+		InitialRate: 512,
+		Schedule:    EpochSchedule{FirstLen: 10000, Growth: 2},
+		RecordSlots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Issue demands back to back through epoch 0 (length 10000).
+	var done uint64
+	for done < 12000 {
+		done = e.Fetch(done, 1)
+	}
+	if e.Epoch() == 0 {
+		t.Fatal("no epoch transition after crossing the boundary")
+	}
+	hist := e.RateChanges()
+	if len(hist) < 2 {
+		t.Fatalf("rate history %v, want ≥ 2 entries", hist)
+	}
+	// Offered load ≈ back-to-back: gap per access ≈ rate (512) with
+	// waste ≈ rate... the learner must select a fast rate (64 or 512),
+	// definitely not 4096.
+	if hist[1].Rate == 4096 {
+		t.Fatalf("busy epoch selected slowest rate %d", hist[1].Rate)
+	}
+	// Membership in R.
+	found := false
+	for _, r := range []uint64{64, 512, 4096} {
+		if hist[1].Rate == r {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("selected rate %d not in R", hist[1].Rate)
+	}
+}
+
+func TestIdleEpochSelectsSlowestRate(t *testing.T) {
+	e, err := NewEnforcer(EnforcerConfig{
+		ORAMLatency: tOLAT,
+		Rates:       []uint64{64, 512, 4096},
+		InitialRate: 512,
+		Schedule:    EpochSchedule{FirstLen: 10000, Growth: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No requests at all; sync past the first boundary.
+	e.Sync(30000)
+	hist := e.RateChanges()
+	if len(hist) < 2 {
+		t.Fatalf("no transition recorded: %v", hist)
+	}
+	if hist[1].Rate != 4096 {
+		t.Fatalf("idle epoch selected %d, want slowest 4096", hist[1].Rate)
+	}
+}
+
+func TestTransitionsAtFixedCycles(t *testing.T) {
+	// Epoch boundaries are clock events: their cycles must match the
+	// schedule regardless of load.
+	sched := EpochSchedule{FirstLen: 5000, Growth: 2}
+	mk := func(busy bool) []RateChange {
+		e, err := NewEnforcer(EnforcerConfig{
+			ORAMLatency: tOLAT,
+			Rates:       []uint64{64, 4096},
+			InitialRate: 512,
+			Schedule:    sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if busy {
+			var done uint64
+			for done < 40000 {
+				done = e.Fetch(done, 1)
+			}
+		} else {
+			e.Sync(40000)
+		}
+		return e.RateChanges()
+	}
+	busyHist := mk(true)
+	idleHist := mk(false)
+	if len(busyHist) != len(idleHist) {
+		t.Fatalf("epoch counts differ: busy %d vs idle %d", len(busyHist), len(idleHist))
+	}
+	for i := range busyHist {
+		if busyHist[i].Cycle != idleHist[i].Cycle {
+			t.Fatalf("boundary %d differs: busy %d vs idle %d", i, busyHist[i].Cycle, idleHist[i].Cycle)
+		}
+		if busyHist[i].Cycle != 0 && busyHist[i].Cycle != sched.Boundary(i-1) {
+			t.Fatalf("boundary %d at cycle %d, want %d", i, busyHist[i].Cycle, sched.Boundary(i-1))
+		}
+	}
+}
+
+func TestSlotTraceIsDataIndependent(t *testing.T) {
+	// THE security property (§2.1): given the same rate sequence, the
+	// enforced access times are identical no matter what the program does.
+	// With |R| = 1 the rate sequence is forced, so two very different
+	// request streams must produce byte-identical slot traces.
+	run := func(pattern func(e *Enforcer)) []uint64 {
+		e, err := NewEnforcer(EnforcerConfig{
+			ORAMLatency: tOLAT,
+			Rates:       []uint64{tRate},
+			InitialRate: tRate,
+			Schedule:    EpochSchedule{FirstLen: 7000, Growth: 2},
+			RecordSlots: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern(e)
+		e.Sync(50000)
+		return SlotStarts(e.Slots())
+	}
+	heavy := run(func(e *Enforcer) {
+		var done uint64
+		for done < 45000 {
+			done = e.Fetch(done, done)
+		}
+	})
+	sparse := run(func(e *Enforcer) {
+		e.Fetch(3000, 1)
+		e.Writeback(9000, 2)
+		e.Fetch(31000, 3)
+	})
+	idle := run(func(e *Enforcer) {})
+	if !reflect.DeepEqual(heavy, sparse) || !reflect.DeepEqual(heavy, idle) {
+		t.Fatalf("slot traces differ across programs:\nheavy:  %d slots\nsparse: %d slots\nidle:   %d slots",
+			len(heavy), len(sparse), len(idle))
+	}
+}
+
+func TestSlotTraceMatchesPrediction(t *testing.T) {
+	// The recorded trace must equal the analytic reconstruction from the
+	// rate-change history alone (PredictSlots) — the executable form of
+	// "leakage = choice of rate sequence, nothing else".
+	e, err := NewEnforcer(EnforcerConfig{
+		ORAMLatency: tOLAT,
+		Rates:       []uint64{64, 512, 4096},
+		InitialRate: 777,
+		Schedule:    EpochSchedule{FirstLen: 4000, Growth: 2},
+		RecordSlots: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Irregular request pattern to exercise transitions under load.
+	times := []uint64{100, 150, 3000, 3010, 9000, 15000, 15001, 29000}
+	for _, tm := range times {
+		e.Fetch(tm, tm)
+	}
+	e.Sync(60000)
+	got := SlotStarts(e.Slots())
+	want := PredictSlots(e.RateChanges(), tOLAT, 60000)
+	// PredictSlots covers slots with start < until; the enforcer may have
+	// recorded a served demand at a slot ≥ 60000 (none here since Sync
+	// stops early); compare prefix of equal length.
+	if len(got) != len(want) {
+		t.Fatalf("trace lengths differ: recorded %d, predicted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: recorded %d, predicted %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDummyFractionAccounting(t *testing.T) {
+	e := staticEnforcer(t, tRate)
+	e.Fetch(0, 1)
+	e.Sync(1000) // several dummies follow
+	st := e.Stats()
+	if st.TotalAccesses() != st.RealAccesses+st.DummyAccesses {
+		t.Fatal("TotalAccesses inconsistent")
+	}
+	if f := st.DummyFraction(); f <= 0 || f >= 1 {
+		t.Fatalf("DummyFraction = %v, want in (0,1)", f)
+	}
+	if (Stats{}).DummyFraction() != 0 {
+		t.Fatal("empty stats DummyFraction should be 0")
+	}
+}
+
+func TestStaticEnforcerNeverTransitions(t *testing.T) {
+	e := staticEnforcer(t, 300)
+	var done uint64
+	for done < 200000 {
+		done = e.Fetch(done, 1)
+	}
+	if e.Epoch() != 0 {
+		t.Fatalf("static enforcer advanced to epoch %d", e.Epoch())
+	}
+	if len(e.RateChanges()) != 1 {
+		t.Fatalf("static enforcer has %d rate changes", len(e.RateChanges()))
+	}
+	if e.Rate() != 300 {
+		t.Fatalf("static rate drifted to %d", e.Rate())
+	}
+}
+
+func TestDefaultInitialRateIsSlowest(t *testing.T) {
+	e, err := NewEnforcer(EnforcerConfig{ORAMLatency: 10, Rates: []uint64{5, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Rate() != 50 {
+		t.Fatalf("default initial rate = %d, want 50", e.Rate())
+	}
+}
+
+func TestFlatMemoryBaseline(t *testing.T) {
+	m := NewFlatMemory(40)
+	if done := m.Fetch(100, 1); done != 140 {
+		t.Fatalf("flat fetch done = %d, want 140", done)
+	}
+	if done := m.Writeback(100, 1); done != 140 {
+		t.Fatalf("flat writeback done = %d, want 140", done)
+	}
+	if m.LineTransfers() != 2 {
+		t.Fatalf("line transfers = %d, want 2", m.LineTransfers())
+	}
+}
+
+func TestUnshieldedORAMSerializes(t *testing.T) {
+	o := NewUnshieldedORAM(1488)
+	o.RecordSlots = true
+	d1 := o.Fetch(0, 1)
+	if d1 != 1488 {
+		t.Fatalf("first done = %d, want 1488", d1)
+	}
+	// Second request at 10 waits for the ORAM to free up: back-to-back,
+	// no rate gap, no dummies.
+	d2 := o.Fetch(10, 2)
+	if d2 != 2976 {
+		t.Fatalf("second done = %d, want 2976", d2)
+	}
+	o.Writeback(10, 3)
+	st := o.Stats()
+	if st.RealAccesses != 2 || st.DummyAccesses != 0 {
+		t.Fatalf("stats = %+v, want 2 real / 0 dummy", st)
+	}
+	if st.WritebacksDone != 1 {
+		t.Fatalf("writebacks = %d, want 1 (absorbed)", st.WritebacksDone)
+	}
+	if len(o.Slots()) != 2 {
+		t.Fatalf("slots = %d, want 2", len(o.Slots()))
+	}
+	// Timing directly reflects request arrivals — the §1.1.1 leak.
+	if o.Slots()[0].Start != 0 || o.Slots()[1].Start != 1488 {
+		t.Fatalf("unexpected starts: %v", o.Slots())
+	}
+}
+
+func TestPredictSlotsEmptyInputs(t *testing.T) {
+	if got := PredictSlots(nil, 10, 100); got != nil {
+		t.Fatalf("PredictSlots(nil) = %v, want nil", got)
+	}
+	if got := PredictSlots([]RateChange{{Rate: 5}}, 0, 100); got != nil {
+		t.Fatalf("PredictSlots(olat=0) = %v, want nil", got)
+	}
+}

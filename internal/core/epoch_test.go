@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestEpochScheduleValidate(t *testing.T) {
+	if err := (EpochSchedule{FirstLen: 1 << 20, Growth: 2}).Validate(); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := (EpochSchedule{FirstLen: 0, Growth: 2}).Validate(); err == nil {
+		t.Fatal("accepted zero FirstLen")
+	}
+	if err := (EpochSchedule{FirstLen: 1, Growth: 1}).Validate(); err == nil {
+		t.Fatal("accepted Growth=1")
+	}
+}
+
+func TestEpochDoublingBoundaries(t *testing.T) {
+	// Epoch doubling from 8: lengths 8, 16, 32 → boundaries 8, 24, 56.
+	s := EpochSchedule{FirstLen: 8, Growth: 2}
+	wantLen := []uint64{8, 16, 32, 64}
+	wantBound := []uint64{8, 24, 56, 120}
+	for i := range wantLen {
+		if got := s.Length(i); got != wantLen[i] {
+			t.Errorf("Length(%d) = %d, want %d", i, got, wantLen[i])
+		}
+		if got := s.Boundary(i); got != wantBound[i] {
+			t.Errorf("Boundary(%d) = %d, want %d", i, got, wantBound[i])
+		}
+	}
+}
+
+func TestEpochsWithinPaperConfigs(t *testing.T) {
+	// Example 6.1 and §9.3/§9.5: with first epoch 2^30 and Tmax = 2^62,
+	// doubling expends 32 epochs; ×4 growth 16; ×8 growth 11; ×16 growth 8.
+	cases := []struct {
+		growth uint64
+		want   int
+	}{
+		{2, 32}, {4, 16}, {8, 11}, {16, 8},
+	}
+	for _, tc := range cases {
+		got := PaperSchedule(tc.growth).EpochsWithin(PaperTmax)
+		if got != tc.want {
+			t.Errorf("growth %d: EpochsWithin(2^62) = %d, want %d", tc.growth, got, tc.want)
+		}
+	}
+}
+
+func TestEpochsWithinSmallRuntime(t *testing.T) {
+	s := EpochSchedule{FirstLen: 100, Growth: 2}
+	if got := s.EpochsWithin(1); got != 1 {
+		t.Fatalf("EpochsWithin(1) = %d, want 1", got)
+	}
+	if got := s.EpochsWithin(100); got != 1 {
+		t.Fatalf("EpochsWithin(100) = %d, want 1", got)
+	}
+	// Paper convention: smallest n with FirstLen·2ⁿ ≥ tmax.
+	if got := s.EpochsWithin(101); got != 1 {
+		t.Fatalf("EpochsWithin(101) = %d, want 1", got)
+	}
+	if got := s.EpochsWithin(201); got != 2 {
+		t.Fatalf("EpochsWithin(201) = %d, want 2", got)
+	}
+	if got := s.EpochsWithin(400); got != 2 {
+		t.Fatalf("EpochsWithin(400) = %d, want 2", got)
+	}
+	if got := s.EpochsWithin(401); got != 3 {
+		t.Fatalf("EpochsWithin(401) = %d, want 3", got)
+	}
+}
+
+func TestEpochOverflowSaturates(t *testing.T) {
+	s := EpochSchedule{FirstLen: 1 << 62, Growth: 16}
+	if got := s.Boundary(10); got != ^uint64(0) {
+		t.Fatalf("Boundary(10) = %d, want saturation", got)
+	}
+	if got := s.Length(40); got != ^uint64(0) {
+		t.Fatalf("Length(40) = %d, want saturation", got)
+	}
+	// EpochsWithin must terminate despite saturation.
+	if got := s.EpochsWithin(^uint64(0)); got <= 0 {
+		t.Fatalf("EpochsWithin = %d, want positive", got)
+	}
+}

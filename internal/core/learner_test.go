@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLogSpacedRatesPaperSet(t *testing.T) {
+	// §9.2: with |R| = 4 the candidate set is {256, 1290, 6501, 32768}.
+	got := PaperRates(4)
+	want := []uint64{256, 1290, 6501, 32768}
+	if len(got) != len(want) {
+		t.Fatalf("PaperRates(4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		// Allow ±1 rounding on interior points.
+		if absDiff(got[i], want[i]) > 1 {
+			t.Fatalf("PaperRates(4)[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogSpacedRatesProperties(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		rates, err := LogSpacedRates(n, MinRate, MaxRate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rates) != n {
+			t.Fatalf("|R| = %d, want %d", len(rates), n)
+		}
+		if rates[0] != MinRate {
+			t.Fatalf("rates[0] = %d, want %d", rates[0], MinRate)
+		}
+		if n > 1 && rates[n-1] != MaxRate {
+			t.Fatalf("rates[last] = %d, want %d", rates[n-1], MaxRate)
+		}
+		for i := 1; i < n; i++ {
+			if rates[i] <= rates[i-1] {
+				t.Fatalf("rates not strictly ascending: %v", rates)
+			}
+		}
+	}
+}
+
+func TestLogSpacedRatesErrors(t *testing.T) {
+	if _, err := LogSpacedRates(0, 1, 2); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := LogSpacedRates(2, 0, 2); err == nil {
+		t.Fatal("accepted lo=0")
+	}
+	if _, err := LogSpacedRates(2, 10, 5); err == nil {
+		t.Fatal("accepted hi<lo")
+	}
+}
+
+func TestDiscretizeNearest(t *testing.T) {
+	rates := []uint64{256, 1290, 6501, 32768}
+	cases := []struct{ raw, want uint64 }{
+		{0, 256},
+		{256, 256},
+		{700, 256},  // closer to 256 (444) than 1290 (590)
+		{900, 1290}, // closer to 1290
+		{1290, 1290},
+		{3800, 1290}, // 2510 vs 2701
+		{4000, 6501},
+		{6501, 6501},
+		{19000, 6501}, // 12499 vs 13768
+		{20000, 32768},
+		{1 << 40, 32768}, // saturates at slowest
+	}
+	for _, tc := range cases {
+		if got := Discretize(tc.raw, rates); got != tc.want {
+			t.Errorf("Discretize(%d) = %d, want %d", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestDiscretizeAlwaysMember(t *testing.T) {
+	rates := PaperRates(8)
+	f := func(raw uint64) bool {
+		got := Discretize(raw, rates)
+		gotLog := DiscretizeLog(raw, rates)
+		member := func(v uint64) bool {
+			for _, r := range rates {
+				if r == v {
+					return true
+				}
+			}
+			return false
+		}
+		return member(got) && member(gotLog)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscretizeLogRespectsGeometricSpacing(t *testing.T) {
+	rates := []uint64{256, 1290, 6501, 32768}
+	// 576 ≈ geometric mean of 256 and 1290: log-distance is a near-tie;
+	// linear distance strongly prefers 256. At 600 log prefers 1290.
+	if got := DiscretizeLog(600, rates); got != 1290 {
+		t.Fatalf("DiscretizeLog(600) = %d, want 1290", got)
+	}
+	if got := Discretize(600, rates); got != 256 {
+		t.Fatalf("Discretize(600) = %d, want 256", got)
+	}
+}
+
+func TestPredictRawEquation1(t *testing.T) {
+	// Equation 1: (EpochCycles − Waste − ORAMCycles) / AccessCount.
+	c := Counters{AccessCount: 10, ORAMCycles: 14880, Waste: 5120}
+	if got := PredictRaw(100000, c); got != 8000 {
+		t.Fatalf("PredictRaw = %d, want 8000", got)
+	}
+}
+
+func TestPredictRawSaturation(t *testing.T) {
+	// No accesses → predict the full free interval (maps to slowest rate).
+	if got := PredictRaw(1000, Counters{}); got != 1000 {
+		t.Fatalf("idle epoch: PredictRaw = %d, want 1000", got)
+	}
+	// Oversubscribed (waste exceeds epoch: concurrent queued requests each
+	// accrue waste) → zero (fastest rate).
+	c := Counters{AccessCount: 3, Waste: 2000}
+	if got := PredictRaw(1000, c); got != 0 {
+		t.Fatalf("oversubscribed: PredictRaw = %d, want 0", got)
+	}
+}
+
+func TestPredictShiftAlgorithm1(t *testing.T) {
+	// Algorithm 1 rounds AccessCount strictly up to a power of two —
+	// including when it already is one (§7.2) — so the divisor for
+	// AccessCount = 5 is 8, and for 8 it is 16.
+	cases := []struct {
+		count uint64
+		want  uint64 // 1024 divided by effective divisor
+	}{
+		{0, 1024}, {1, 512}, {2, 256}, {3, 256}, {4, 128}, {5, 128},
+		{7, 128}, {8, 64}, {9, 64}, {16, 32},
+	}
+	for _, tc := range cases {
+		c := Counters{AccessCount: tc.count}
+		if got := PredictShift(1024, c); got != tc.want {
+			t.Errorf("PredictShift(count=%d) = %d, want %d", tc.count, got, tc.want)
+		}
+	}
+}
+
+func TestPredictShiftUndersetsByAtMostTwo(t *testing.T) {
+	// §7.2: the shift divider undersets the prediction by at most 2×
+	// relative to Equation 1 (and never oversets).
+	f := func(epoch uint32, waste uint16, oram uint16, count uint16) bool {
+		ep := uint64(epoch) + 1
+		c := Counters{AccessCount: uint64(count), ORAMCycles: uint64(oram), Waste: uint64(waste)}
+		exact := PredictRaw(ep, c)
+		shift := PredictShift(ep, c)
+		if shift > exact {
+			return false
+		}
+		// shift ≥ exact/2 − 1 (integer truncation slack).
+		return shift+1 >= exact/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictorSelection(t *testing.T) {
+	c := Counters{AccessCount: 5}
+	if ShiftPredictor.Predict(1024, c) != PredictShift(1024, c) {
+		t.Fatal("ShiftPredictor does not match PredictShift")
+	}
+	if ExactPredictor.Predict(1024, c) != PredictRaw(1024, c) {
+		t.Fatal("ExactPredictor does not match PredictRaw")
+	}
+	if ShiftPredictor.String() != "shift" || ExactPredictor.String() != "exact" {
+		t.Fatal("Predictor.String mismatch")
+	}
+	if LinearDiscretizer.String() != "linear" || LogDiscretizer.String() != "log" {
+		t.Fatal("Discretizer.String mismatch")
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	c := Counters{AccessCount: 1, ORAMCycles: 2, Waste: 3}
+	c.Reset()
+	if c != (Counters{}) {
+		t.Fatalf("Reset left %+v", c)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+// PredictSlots reconstructs the enforced access start times implied by a
+// rate-change history, an ORAM latency and an end time. This is the
+// security argument made executable: the adversary-visible timing trace is
+// a deterministic function of (rate sequence, OLAT) alone — no other
+// program or data state enters. The data-independence property test runs
+// two arbitrary programs, forces the same rate sequence, and checks the
+// recorded slot starts equal this prediction exactly.
+//
+// The reconstruction mirrors the enforcer's clock rules:
+//
+//   - access i+1 starts rate cycles after access i completes (§2.1);
+//   - the rate in force for a gap is the one selected at the last epoch
+//     boundary at or before the completion that opened the gap.
+func PredictSlots(history []RateChange, olat uint64, until uint64) []uint64 {
+	if len(history) == 0 || olat == 0 {
+		return nil
+	}
+	rateAt := func(cycle uint64) uint64 {
+		r := history[0].Rate
+		for _, h := range history[1:] {
+			if h.Cycle <= cycle {
+				r = h.Rate
+			} else {
+				break
+			}
+		}
+		return r
+	}
+	var out []uint64
+	var lastEnd uint64
+	for {
+		slot := lastEnd + rateAt(lastEnd)
+		if slot >= until {
+			return out
+		}
+		out = append(out, slot)
+		lastEnd = slot + olat
+	}
+}
+
+// SlotStarts extracts the start times from a recorded slot trace.
+func SlotStarts(slots []Slot) []uint64 {
+	out := make([]uint64, len(slots))
+	for i, s := range slots {
+		out[i] = s.Start
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+// Package cpu models the in-order, single-issue core of Table 1: fixed
+// per-class instruction latencies (Arith/Mult/Div = 1/4/12 cycles, FP
+// Arith/Mult/Div = 2/4/10), blocking loads, stores through the hierarchy's
+// non-blocking write buffer, and a synthetic fetch stream over a
+// workload-specific code footprint.
+package cpu
+
+import (
+	"tcoram/internal/cache"
+	"tcoram/internal/trace"
+)
+
+// latencies maps instruction kinds to their execute latencies in cycles
+// (Table 1). Memory kinds are resolved by the hierarchy instead.
+var latencies = [trace.NumKinds]uint64{
+	trace.IntALU:  1,
+	trace.IntMult: 4,
+	trace.IntDiv:  12,
+	trace.FPALU:   2,
+	trace.FPMult:  4,
+	trace.FPDiv:   10,
+	trace.Branch:  1,
+	trace.Load:    0,
+	trace.Store:   0,
+}
+
+// Latency returns the fixed execute latency of a non-memory kind.
+func Latency(k trace.Kind) uint64 { return latencies[k] }
+
+// Config parameterizes the core.
+type Config struct {
+	// CodeBytes is the synthetic code footprint; taken branches jump
+	// within it, exercising the L1 I-cache realistically for the
+	// workload. Must be a positive multiple of the line size.
+	CodeBytes uint64
+	// CodeBase is the base byte address of the code region (kept disjoint
+	// from data regions by the workload generators).
+	CodeBase uint64
+	// BranchTakenProb is the probability (in 1/256ths) that a Branch
+	// redirects fetch rather than falling through.
+	BranchTakenProb uint8
+	// Seed drives the branch-target PRNG.
+	Seed uint64
+}
+
+// DefaultConfig returns a 16 KB code footprint with 50% taken branches.
+func DefaultConfig() Config {
+	return Config{CodeBytes: 16 << 10, BranchTakenProb: 128, Seed: 1}
+}
+
+// Stats aggregates the counters the performance and energy models need.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	ByKind       [trace.NumKinds]uint64
+	FetchLines   uint64 // I-fetch line crossings (fetch-buffer fills)
+	LoadStalls   uint64 // cycles stalled waiting for loads
+}
+
+// IPC returns retired instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Core executes a trace.Stream against a cache.Hierarchy, advancing a cycle
+// clock. It is deliberately simple: one instruction at a time, with the
+// only memory-level parallelism coming from the write buffer — matching the
+// paper's core model ("in-order, single-issue ... non-blocking write buffer
+// which can generate multiple, concurrent outstanding LLC misses", §9.1.2).
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	now  uint64
+	pc   uint64
+	rng  uint64
+	stat Stats
+}
+
+// NewCore returns a core at cycle 0.
+func NewCore(cfg Config, hier *cache.Hierarchy) *Core {
+	if cfg.CodeBytes == 0 || cfg.CodeBytes%cache.LineBytes != 0 {
+		cfg.CodeBytes = 16 << 10
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &Core{cfg: cfg, hier: hier, pc: cfg.CodeBase, rng: seed}
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// Stats returns a copy of the core's counters.
+func (c *Core) Stats() Stats { return c.stat }
+
+// ResetStats zeroes the counters without disturbing the clock, PC or
+// branch PRNG. The simulator calls it at the end of cache warmup, mirroring
+// the paper's fast-forward methodology (§9.1.1).
+func (c *Core) ResetStats() { c.stat = Stats{} }
+
+// Instructions returns the retired instruction count.
+func (c *Core) Instructions() uint64 { return c.stat.Instructions }
+
+// nextRand is a splitmix64 step — fast, deterministic branch-target PRNG.
+func (c *Core) nextRand() uint64 {
+	c.rng += 0x9E3779B97F4A7C15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Step executes one instruction, advancing the clock, and reports the cycle
+// after retirement.
+func (c *Core) Step(ins trace.Instr) uint64 {
+	// Fetch: model the fetch buffer — a new I-line is fetched only when
+	// the PC crosses a line boundary or after a taken branch.
+	if c.pc%cache.LineBytes == 0 {
+		c.stat.FetchLines++
+		c.now = c.hier.FetchInstr(c.now, c.pc)
+	}
+	c.pc += 4
+	if c.pc >= c.cfg.CodeBase+c.cfg.CodeBytes {
+		c.pc = c.cfg.CodeBase
+	}
+
+	switch ins.Kind {
+	case trace.Load:
+		done := c.hier.Load(c.now, ins.Addr)
+		if done > c.now {
+			c.stat.LoadStalls += done - c.now
+		}
+		c.now = done
+	case trace.Store:
+		c.now = c.hier.Store(c.now, ins.Addr)
+	case trace.Branch:
+		c.now += latencies[trace.Branch]
+		if uint8(c.nextRand()) < c.cfg.BranchTakenProb {
+			// Taken: jump to a random line-aligned target in the code
+			// footprint; the next Step fetches the new line.
+			lines := c.cfg.CodeBytes / cache.LineBytes
+			c.pc = c.cfg.CodeBase + (c.nextRand()%lines)*cache.LineBytes
+		}
+	default:
+		c.now += latencies[ins.Kind]
+	}
+
+	c.stat.ByKind[ins.Kind]++
+	c.stat.Instructions++
+	c.stat.Cycles = c.now
+	return c.now
+}
+
+// Run executes up to maxInstrs from the stream (or until it ends) and
+// returns the final cycle. A zero maxInstrs means "until the stream ends".
+func (c *Core) Run(stream trace.Stream, maxInstrs uint64) uint64 {
+	for maxInstrs == 0 || c.stat.Instructions < maxInstrs {
+		ins, ok := stream.Next()
+		if !ok {
+			break
+		}
+		c.Step(ins)
+	}
+	return c.now
+}

@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"testing"
+
+	"tcoram/internal/cache"
+	"tcoram/internal/core"
+	"tcoram/internal/trace"
+)
+
+func newTestCore() *Core {
+	mem := core.NewFlatMemory(40)
+	hier := cache.NewHierarchy(cache.DefaultConfig(), mem)
+	return NewCore(DefaultConfig(), hier)
+}
+
+func TestInstructionLatenciesTable1(t *testing.T) {
+	// Table 1: Arith/Mult/Div = 1/4/12; FP Arith/Mult/Div = 2/4/10.
+	cases := []struct {
+		kind trace.Kind
+		want uint64
+	}{
+		{trace.IntALU, 1}, {trace.IntMult, 4}, {trace.IntDiv, 12},
+		{trace.FPALU, 2}, {trace.FPMult, 4}, {trace.FPDiv, 10},
+		{trace.Branch, 1},
+	}
+	for _, tc := range cases {
+		if got := Latency(tc.kind); got != tc.want {
+			t.Errorf("Latency(%v) = %d, want %d", tc.kind, got, tc.want)
+		}
+	}
+}
+
+// warmICache runs enough straight-line instructions to pull the whole code
+// footprint into the L1 I-cache, then resets the counters.
+func warmICache(c *Core) {
+	for i := 0; i < 8192; i++ {
+		c.Step(trace.Instr{Kind: trace.IntALU})
+	}
+	c.ResetStats()
+}
+
+func TestALUStreamRetiresOnePerCycle(t *testing.T) {
+	c := newTestCore()
+	warmICache(c)
+	start := c.Now()
+	for i := 0; i < 1000; i++ {
+		c.Step(trace.Instr{Kind: trace.IntALU})
+	}
+	st := c.Stats()
+	if st.Instructions != 1000 {
+		t.Fatalf("retired %d, want 1000", st.Instructions)
+	}
+	// 1 cycle each plus warm per-line fetch costs.
+	if took := c.Now() - start; took < 1000 || took > 1200 {
+		t.Fatalf("ALU stream took %d cycles, want ≈1000", took)
+	}
+}
+
+func TestDivSlowerThanALU(t *testing.T) {
+	run := func(kind trace.Kind) uint64 {
+		c := newTestCore()
+		warmICache(c)
+		start := c.Now()
+		for i := 0; i < 500; i++ {
+			c.Step(trace.Instr{Kind: kind})
+		}
+		return c.Now() - start
+	}
+	if alu, div := run(trace.IntALU), run(trace.IntDiv); div < alu*10 {
+		t.Fatalf("divide stream (%d cycles) not ≈12× ALU stream (%d)", div, alu)
+	}
+}
+
+func TestLoadMissBlocks(t *testing.T) {
+	c := newTestCore()
+	done := c.Step(trace.Instr{Kind: trace.Load, Addr: 1 << 30})
+	// Cold load: must include the 40-cycle memory trip.
+	if done < 40 {
+		t.Fatalf("cold load retired at %d, want ≥ 40", done)
+	}
+	if c.Stats().LoadStalls == 0 {
+		t.Fatal("no load stall cycles recorded")
+	}
+}
+
+func TestStoresDoNotBlock(t *testing.T) {
+	c := newTestCore()
+	warmICache(c)
+	start := c.Now()
+	var last uint64
+	for i := 0; i < 4; i++ {
+		last = c.Step(trace.Instr{Kind: trace.Store, Addr: uint64(1<<30) + uint64(i)*64})
+	}
+	// Four cold store misses retire quickly through the write buffer.
+	if took := last - start; took > 20 {
+		t.Fatalf("4 store misses took %d cycles; write buffer should hide them", took)
+	}
+}
+
+func TestMaxInstrsBound(t *testing.T) {
+	c := newTestCore()
+	instrs := make([]trace.Instr, 100)
+	c.Run(trace.NewSliceStream(instrs), 10)
+	if got := c.Instructions(); got != 10 {
+		t.Fatalf("Run(maxInstrs=10) retired %d", got)
+	}
+}
+
+func TestResetStatsKeepsClock(t *testing.T) {
+	c := newTestCore()
+	c.Step(trace.Instr{Kind: trace.IntDiv})
+	now := c.Now()
+	c.ResetStats()
+	if c.Now() != now {
+		t.Fatal("ResetStats disturbed the clock")
+	}
+	if c.Stats().Instructions != 0 {
+		t.Fatal("ResetStats did not zero instructions")
+	}
+}
+
+func TestByKindCounts(t *testing.T) {
+	c := newTestCore()
+	c.Step(trace.Instr{Kind: trace.FPMult})
+	c.Step(trace.Instr{Kind: trace.FPMult})
+	c.Step(trace.Instr{Kind: trace.IntALU})
+	st := c.Stats()
+	if st.ByKind[trace.FPMult] != 2 || st.ByKind[trace.IntALU] != 1 {
+		t.Fatalf("ByKind = %v", st.ByKind)
+	}
+}
+
+func TestBranchesRedirectFetch(t *testing.T) {
+	// With 100% taken branches over a large code footprint, fetch-line
+	// count approaches one per branch (every branch jumps to a new line).
+	mem := core.NewFlatMemory(40)
+	hier := cache.NewHierarchy(cache.DefaultConfig(), mem)
+	c := NewCore(Config{CodeBytes: 256 << 10, BranchTakenProb: 255, Seed: 7}, hier)
+	for i := 0; i < 2000; i++ {
+		c.Step(trace.Instr{Kind: trace.Branch})
+	}
+	st := c.Stats()
+	if st.FetchLines < 1500 {
+		t.Fatalf("taken branches fetched %d lines / 2000 branches; expected ≈1 line per branch", st.FetchLines)
+	}
+	// The 256 KB footprint exceeds the 32 KB L1I: real I-misses occur.
+	if hier.Stats().L1IMisses == 0 {
+		t.Fatal("large code footprint produced no L1I misses")
+	}
+}
+
+func TestIPCComputation(t *testing.T) {
+	s := Stats{Instructions: 500, Cycles: 2000}
+	if got := s.IPC(); got != 0.25 {
+		t.Fatalf("IPC = %v, want 0.25", got)
+	}
+	if (Stats{}).IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() uint64 {
+		c := newTestCore()
+		instrs := make([]trace.Instr, 0, 3000)
+		for i := 0; i < 1000; i++ {
+			instrs = append(instrs,
+				trace.Instr{Kind: trace.Branch},
+				trace.Instr{Kind: trace.Load, Addr: uint64(i%64) * 64 * 997},
+				trace.Instr{Kind: trace.IntMult})
+		}
+		c.Run(trace.NewSliceStream(instrs), 0)
+		return c.Stats().Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("execution not deterministic: %d vs %d cycles", a, b)
+	}
+}

@@ -1,0 +1,212 @@
+// Package crypt provides the cryptographic substrate the secure processor
+// relies on (§4.1, §5, §8 of the paper):
+//
+//   - probabilistic symmetric encryption (AES-128-CTR with a fresh random
+//     nonce per encryption) used for ORAM buckets and all off-chip data;
+//   - HMAC-SHA256 for binding programs, data and leakage parameters (§10);
+//   - RSA-OAEP key transport for the run-once session-key exchange (§8);
+//   - a fixed-latency accounting wrapper, because the paper requires that
+//     "all encryption routines are fixed latency" (§4.1).
+//
+// Everything is implemented with the Go standard library.
+package crypt
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key size in bytes (AES-128, matching the paper's
+// AES-128 chunk pipeline in §9.1.4).
+const KeySize = 16
+
+// NonceSize is the per-encryption nonce size prepended to each ciphertext.
+const NonceSize = 16
+
+// MACSize is the HMAC-SHA256 tag size.
+const MACSize = sha256.Size
+
+// ErrKeyErased is returned when a session key has been forgotten (run-once
+// replay prevention, §8).
+var ErrKeyErased = errors.New("crypt: session key erased")
+
+// ErrAuthFailed is returned when a MAC or padding check fails.
+var ErrAuthFailed = errors.New("crypt: authentication failed")
+
+// Key is a symmetric session key.
+type Key [KeySize]byte
+
+// NewKey samples a uniformly random key from r (crypto/rand.Reader in
+// production; a deterministic reader in tests).
+func NewKey(r io.Reader) (Key, error) {
+	var k Key
+	if _, err := io.ReadFull(r, k[:]); err != nil {
+		return Key{}, fmt.Errorf("crypt: sampling key: %w", err)
+	}
+	return k, nil
+}
+
+// Zero overwrites the key in place. After Zero the key must not be used; it
+// models the processor "forgetting" K at session end (§8).
+func (k *Key) Zero() {
+	for i := range k {
+		k[i] = 0
+	}
+}
+
+// Cipher performs probabilistic encryption under a fixed key. Each call to
+// Encrypt draws a fresh nonce, so encrypting identical plaintexts yields
+// unrelated ciphertexts — the property the Path ORAM write-back path and the
+// root-bucket probing attack (§3.2) both depend on.
+type Cipher struct {
+	key    Key
+	block  cipher.Block
+	rand   io.Reader
+	erased bool
+}
+
+// NewCipher builds a Cipher from key, drawing nonces from rnd. If rnd is
+// nil, crypto/rand.Reader is used.
+func NewCipher(key Key, rnd io.Reader) *Cipher {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		// KeySize is a valid AES key size; any failure is a bug.
+		panic(err)
+	}
+	return &Cipher{key: key, block: block, rand: rnd}
+}
+
+// Erase forgets the key. All later operations fail with ErrKeyErased.
+func (c *Cipher) Erase() {
+	c.key.Zero()
+	c.block = nil
+	c.erased = true
+}
+
+// Erased reports whether the key has been forgotten.
+func (c *Cipher) Erased() bool { return c.erased }
+
+// Encrypt returns nonce ‖ CTR(key, nonce, plaintext). The output length is
+// len(plaintext) + NonceSize, so fixed-size buckets stay fixed size.
+func (c *Cipher) Encrypt(plaintext []byte) ([]byte, error) {
+	if c.erased {
+		return nil, ErrKeyErased
+	}
+	out := make([]byte, NonceSize+len(plaintext))
+	if _, err := io.ReadFull(c.rand, out[:NonceSize]); err != nil {
+		return nil, fmt.Errorf("crypt: sampling nonce: %w", err)
+	}
+	stream := cipher.NewCTR(c.block, out[:NonceSize])
+	stream.XORKeyStream(out[NonceSize:], plaintext)
+	return out, nil
+}
+
+// Decrypt inverts Encrypt.
+func (c *Cipher) Decrypt(ciphertext []byte) ([]byte, error) {
+	if c.erased {
+		return nil, ErrKeyErased
+	}
+	if len(ciphertext) < NonceSize {
+		return nil, fmt.Errorf("crypt: ciphertext too short (%d bytes)", len(ciphertext))
+	}
+	out := make([]byte, len(ciphertext)-NonceSize)
+	stream := cipher.NewCTR(c.block, ciphertext[:NonceSize])
+	stream.XORKeyStream(out, ciphertext[NonceSize:])
+	return out, nil
+}
+
+// MAC computes HMAC-SHA256 over the concatenation of the given parts, each
+// length-prefixed so the encoding is unambiguous.
+func (c *Cipher) MAC(parts ...[]byte) ([]byte, error) {
+	if c.erased {
+		return nil, ErrKeyErased
+	}
+	m := hmac.New(sha256.New, c.key[:])
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		m.Write(lenBuf[:])
+		m.Write(p)
+	}
+	return m.Sum(nil), nil
+}
+
+// VerifyMAC checks tag against MAC(parts...) in constant time.
+func (c *Cipher) VerifyMAC(tag []byte, parts ...[]byte) error {
+	want, err := c.MAC(parts...)
+	if err != nil {
+		return err
+	}
+	if !hmac.Equal(tag, want) {
+		return ErrAuthFailed
+	}
+	return nil
+}
+
+// Hash returns SHA-256 of data; used for certified program hashes (§10).
+func Hash(data []byte) [sha256.Size]byte { return sha256.Sum256(data) }
+
+// DeviceKeyPair is the secure processor's manufacturing key pair used for
+// session-key transport (step 1 of §8's expanded protocol).
+type DeviceKeyPair struct {
+	priv *rsa.PrivateKey
+}
+
+// GenerateDeviceKeyPair creates the processor's long-lived key pair.
+// bits=2048 is used in examples; tests may use smaller keys for speed.
+func GenerateDeviceKeyPair(rnd io.Reader, bits int) (*DeviceKeyPair, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	priv, err := rsa.GenerateKey(rnd, bits)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: generating device key: %w", err)
+	}
+	return &DeviceKeyPair{priv: priv}, nil
+}
+
+// Public returns the public half, shipped with the processor's certificate.
+func (d *DeviceKeyPair) Public() *rsa.PublicKey { return &d.priv.PublicKey }
+
+// WrapKey encrypts the symmetric key k to the processor's public key
+// (user side of the §8 protocol).
+func WrapKey(rnd io.Reader, pub *rsa.PublicKey, k Key) ([]byte, error) {
+	if rnd == nil {
+		rnd = rand.Reader
+	}
+	ct, err := rsa.EncryptOAEP(sha256.New(), rnd, pub, k[:], []byte("tcoram-session"))
+	if err != nil {
+		return nil, fmt.Errorf("crypt: wrapping key: %w", err)
+	}
+	return ct, nil
+}
+
+// UnwrapKey recovers a wrapped symmetric key (processor side).
+func (d *DeviceKeyPair) UnwrapKey(ciphertext []byte) (Key, error) {
+	pt, err := rsa.DecryptOAEP(sha256.New(), nil, d.priv, ciphertext, []byte("tcoram-session"))
+	if err != nil {
+		return Key{}, ErrAuthFailed
+	}
+	if len(pt) != KeySize {
+		return Key{}, ErrAuthFailed
+	}
+	var k Key
+	copy(k[:], pt)
+	return k, nil
+}
+
+// Equal reports whether two byte slices are equal (non-constant-time; for
+// tests and non-secret comparisons).
+func Equal(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,220 @@
+package crypt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// detRand is a deterministic io.Reader for tests.
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newTestCipher(seed int64) *Cipher {
+	rr := detRand{rand.New(rand.NewSource(seed))}
+	key, err := NewKey(rr)
+	if err != nil {
+		panic(err)
+	}
+	return NewCipher(key, rr)
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	c := newTestCipher(1)
+	f := func(msg []byte) bool {
+		ct, err := c.Encrypt(msg)
+		if err != nil {
+			return false
+		}
+		pt, err := c.Decrypt(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptionIsProbabilistic(t *testing.T) {
+	// The same plaintext must encrypt to different ciphertexts — the
+	// property the ORAM root-bucket probe (§3.2) exploits.
+	c := newTestCipher(2)
+	msg := make([]byte, 192)
+	ct1, err := c.Encrypt(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := c.Encrypt(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ct1, ct2) {
+		t.Fatal("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestCiphertextLengthFixed(t *testing.T) {
+	c := newTestCipher(3)
+	for _, n := range []int{0, 1, 16, 192, 4096} {
+		ct, err := c.Encrypt(make([]byte, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != n+NonceSize {
+			t.Fatalf("ciphertext of %d-byte plaintext is %d bytes, want %d", n, len(ct), n+NonceSize)
+		}
+	}
+}
+
+func TestDecryptRejectsShortCiphertext(t *testing.T) {
+	c := newTestCipher(4)
+	if _, err := c.Decrypt(make([]byte, NonceSize-1)); err == nil {
+		t.Fatal("Decrypt accepted ciphertext shorter than the nonce")
+	}
+}
+
+func TestEraseForgetsKey(t *testing.T) {
+	c := newTestCipher(5)
+	msg := []byte("secret user data")
+	ct, err := c.Encrypt(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Erase()
+	if !c.Erased() {
+		t.Fatal("Erased() = false after Erase")
+	}
+	if _, err := c.Encrypt(msg); err != ErrKeyErased {
+		t.Fatalf("Encrypt after Erase: err = %v, want ErrKeyErased", err)
+	}
+	if _, err := c.Decrypt(ct); err != ErrKeyErased {
+		t.Fatalf("Decrypt after Erase: err = %v, want ErrKeyErased", err)
+	}
+	if _, err := c.MAC(msg); err != ErrKeyErased {
+		t.Fatalf("MAC after Erase: err = %v, want ErrKeyErased", err)
+	}
+}
+
+func TestKeyZero(t *testing.T) {
+	k := Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	k.Zero()
+	if k != (Key{}) {
+		t.Fatal("Zero() left key material behind")
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	c := newTestCipher(6)
+	prog := []byte("program")
+	data := []byte("data")
+	tag, err := c.MAC(prog, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyMAC(tag, prog, data); err != nil {
+		t.Fatalf("VerifyMAC rejected valid tag: %v", err)
+	}
+	if err := c.VerifyMAC(tag, prog, []byte("tampered")); err != ErrAuthFailed {
+		t.Fatalf("VerifyMAC on tampered data: err = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestMACEncodingUnambiguous(t *testing.T) {
+	// ("ab","c") and ("a","bc") must not collide: lengths are prefixed.
+	c := newTestCipher(7)
+	t1, err := c.MAC([]byte("ab"), []byte("c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.MAC([]byte("a"), []byte("bc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(t1, t2) {
+		t.Fatal("MAC encoding is ambiguous across part boundaries")
+	}
+}
+
+func TestMACDiffersAcrossKeys(t *testing.T) {
+	t1, err := newTestCipher(8).MAC([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := newTestCipher(9).MAC([]byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(t1, t2) {
+		t.Fatal("MACs under different keys are identical")
+	}
+}
+
+func TestKeyTransportRoundTrip(t *testing.T) {
+	rr := detRand{rand.New(rand.NewSource(10))}
+	dev, err := GenerateDeviceKeyPair(rr, 1024) // small key: test-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKey(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := WrapKey(rr, dev.Public(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dev.UnwrapKey(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatal("unwrapped key differs from wrapped key")
+	}
+}
+
+func TestUnwrapRejectsGarbage(t *testing.T) {
+	rr := detRand{rand.New(rand.NewSource(11))}
+	dev, err := GenerateDeviceKeyPair(rr, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.UnwrapKey(make([]byte, 128)); err == nil {
+		t.Fatal("UnwrapKey accepted garbage ciphertext")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	if Hash([]byte("p")) != Hash([]byte("p")) {
+		t.Fatal("Hash not deterministic")
+	}
+	if Hash([]byte("p")) == Hash([]byte("q")) {
+		t.Fatal("Hash collision on distinct inputs")
+	}
+}
+
+func TestFixedLatencyModel(t *testing.T) {
+	lat := DefaultLatency()
+	// The crypto overhead must be a constant, independent of anything
+	// data-dependent: same value on every call.
+	a := lat.AccessOverhead(0)
+	b := lat.AccessOverhead(0)
+	if a != b {
+		t.Fatal("AccessOverhead not constant")
+	}
+	if a <= 0 {
+		t.Fatalf("AccessOverhead = %d, want positive pipeline fill", a)
+	}
+	withMAC := FixedLatency{AESPipelineFill: 14, MACBlock: 10}
+	if got := withMAC.AccessOverhead(3); got != 14+30 {
+		t.Fatalf("AccessOverhead(3) = %d, want 44", got)
+	}
+}

@@ -1,0 +1,38 @@
+package crypt
+
+// The paper requires that "all encryption routines are fixed latency" (§4.1)
+// so that crypto does not itself become a timing channel. This file models
+// that requirement for the timing simulator: the AES unit processes one
+// 16-byte chunk per DRAM cycle (§9.1.4 assumes a pipeline rate-matched to
+// the pins), so encryption overlaps data movement and never adds
+// data-dependent cycles.
+
+// ChunkBytes is the AES block size the ORAM controller pipelines (§9.1.4).
+const ChunkBytes = 16
+
+// FixedLatency describes the constant cycle costs of the crypto engines.
+// All values are processor cycles at 1 GHz.
+type FixedLatency struct {
+	// AESPipelineFill is the one-time fill latency of the AES pipeline at
+	// the start of a path read; after the fill, throughput is rate-matched
+	// to the pins so no further cycles accrue.
+	AESPipelineFill int64
+	// MACBlock is the fixed cost of one HMAC verification (integrity
+	// extension); zero when integrity is disabled.
+	MACBlock int64
+}
+
+// DefaultLatency returns the fixed-latency model used by the evaluation:
+// a 14-stage AES pipeline fill and no MAC (integrity disabled by default,
+// matching the paper's baseline which defers integrity to [25]).
+func DefaultLatency() FixedLatency {
+	return FixedLatency{AESPipelineFill: 14, MACBlock: 0}
+}
+
+// AccessOverhead returns the constant number of processor cycles an ORAM
+// access spends on cryptography that is not overlapped with data transfer.
+// It is independent of the data being moved — by construction the model
+// cannot express data-dependent crypto time.
+func (f FixedLatency) AccessOverhead(integrityBlocks int) int64 {
+	return f.AESPipelineFill + f.MACBlock*int64(integrityBlocks)
+}

@@ -1,0 +1,289 @@
+// Package dram models a DDR3-style main memory at the level of detail the
+// paper depends on: per-bank row-buffer state, rank/bank geometry, and the
+// core timing constraints (tRCD, tRP, tCAS, tBURST, tRC). The model is used
+// in two ways:
+//
+//  1. To derive the latency of one full (recursive) Path ORAM access, which
+//     the paper reports as 1488 processor cycles moving 24.2 KB across the
+//     pins (§9.1.2). Path ORAM traffic is data-independent, so this latency
+//     is computed once and reused as a scalar by the system simulator.
+//  2. To back the functional shared-DRAM used by the adversary's
+//     root-bucket probing attack (§3.2).
+//
+// Clock domains: the processor runs at 1 GHz; DRAM is DDR-667 (two channels)
+// whose data bus is rate-matched by a 1.334 GHz SDR equivalent, i.e. one
+// "DRAM cycle" is 0.75 processor cycles and moves 16 bytes across the pins
+// (Table 1).
+package dram
+
+import (
+	"fmt"
+)
+
+// Config describes a DDR3-like memory system. The defaults (Default) follow
+// Table 1 of the paper plus standard DDR3-1333 device timings.
+type Config struct {
+	// Channels is the number of independent memory channels. Path ORAM
+	// stripes consecutive bursts across channels.
+	Channels int
+	// BanksPerChannel is the number of DRAM banks per channel.
+	BanksPerChannel int
+	// RowBytes is the size of one DRAM row (page) per bank.
+	RowBytes int
+	// BurstBytes is the number of bytes moved per DRAM burst
+	// (pin bandwidth per DRAM cycle × burst length).
+	BurstBytes int
+
+	// All timings below are in DRAM cycles (1.334 GHz SDR equivalent).
+
+	// TCAS is the column access (CL) latency.
+	TCAS int
+	// TRCD is the row-to-column delay (ACT to READ/WRITE).
+	TRCD int
+	// TRP is the row precharge time.
+	TRP int
+	// TBurst is the data transfer time of one burst.
+	TBurst int
+	// TWTR is the write-to-read turnaround penalty on a channel.
+	TWTR int
+
+	// CPUCyclesPerDRAMCycle converts DRAM cycles into processor cycles.
+	// With a 1 GHz core and a 1.334 GHz effective DRAM data clock this is
+	// 0.75; it is expressed as a rational (num/den) to keep the model
+	// integer-exact.
+	CPUCycleNum int
+	CPUCycleDen int
+}
+
+// Default returns the configuration used throughout the paper's evaluation:
+// two channels of DDR-667 (DDR3-1333) with 8 banks each, 8 KB rows, and a
+// 16-byte pin transfer per DRAM cycle.
+func Default() Config {
+	return Config{
+		Channels:        2,
+		BanksPerChannel: 8,
+		RowBytes:        8192,
+		BurstBytes:      64, // one cache line per 4-cycle burst (16 B/cycle)
+		TCAS:            9,
+		TRCD:            9,
+		TRP:             9,
+		TBurst:          4,
+		TWTR:            5,
+		CPUCycleNum:     3,
+		CPUCycleDen:     4,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("dram: Channels must be positive, got %d", c.Channels)
+	case c.BanksPerChannel <= 0:
+		return fmt.Errorf("dram: BanksPerChannel must be positive, got %d", c.BanksPerChannel)
+	case c.BurstBytes <= 0:
+		return fmt.Errorf("dram: BurstBytes must be positive, got %d", c.BurstBytes)
+	case c.RowBytes <= 0 || c.RowBytes%c.BurstBytes != 0:
+		return fmt.Errorf("dram: RowBytes (%d) must be a positive multiple of BurstBytes (%d)", c.RowBytes, c.BurstBytes)
+	case c.TCAS <= 0 || c.TRCD <= 0 || c.TRP <= 0 || c.TBurst <= 0:
+		return fmt.Errorf("dram: all timing parameters must be positive")
+	case c.CPUCycleNum <= 0 || c.CPUCycleDen <= 0:
+		return fmt.Errorf("dram: CPU/DRAM clock ratio must be positive")
+	}
+	return nil
+}
+
+// ToCPUCycles converts a duration in DRAM cycles to processor cycles,
+// rounding up (a request is not complete until the full DRAM cycle ends).
+func (c Config) ToCPUCycles(dramCycles int64) int64 {
+	n := dramCycles*int64(c.CPUCycleNum) + int64(c.CPUCycleDen) - 1
+	return n / int64(c.CPUCycleDen)
+}
+
+// PinBandwidthBytesPerCPUCycle returns the aggregate pin bandwidth in bytes
+// per processor cycle across all channels.
+func (c Config) PinBandwidthBytesPerCPUCycle() float64 {
+	perDRAM := float64(c.BurstBytes) / float64(c.TBurst) * float64(c.Channels)
+	return perDRAM * float64(c.CPUCycleDen) / float64(c.CPUCycleNum)
+}
+
+// AccessKind distinguishes reads from writes.
+type AccessKind uint8
+
+const (
+	// Read moves data from DRAM to the controller.
+	Read AccessKind = iota
+	// Write moves data from the controller to DRAM.
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// bankState tracks the open row and the cycle at which the bank next becomes
+// usable.
+type bankState struct {
+	openRow   int64 // -1 when no row is open
+	readyAt   int64 // DRAM cycle when the bank can accept a new command
+	lastWrite bool
+}
+
+// Channel models one memory channel: a command/data bus shared by several
+// banks. Scheduling is FCFS per the simple in-order controller the paper
+// assumes; the model's purpose is faithful latency/bandwidth, not reorder
+// heuristics.
+type Channel struct {
+	cfg     Config
+	banks   []bankState
+	busFree int64 // DRAM cycle when the data bus is next free
+}
+
+// NewChannel returns an idle channel with all rows closed.
+func NewChannel(cfg Config) *Channel {
+	banks := make([]bankState, cfg.BanksPerChannel)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	return &Channel{cfg: cfg, banks: banks}
+}
+
+// Reset closes all rows and idles the bus.
+func (ch *Channel) Reset() {
+	for i := range ch.banks {
+		ch.banks[i] = bankState{openRow: -1}
+	}
+	ch.busFree = 0
+}
+
+// Access issues one burst to (bank,row) at DRAM cycle now and returns the
+// DRAM cycle at which the data transfer completes. Row-buffer hits pay only
+// CAS+burst; misses pay precharge (if a conflicting row is open) plus
+// activate. Column commands to an open row pipeline at the burst rate
+// (tCCD = TBurst), so streaming within a row is bus-limited; activates on
+// one bank overlap with transfers on others.
+func (ch *Channel) Access(now int64, bank int, row int64, kind AccessKind) int64 {
+	b := &ch.banks[bank]
+	start := now
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	cmd := start
+	switch {
+	case b.openRow == row:
+		// Row hit: column access only.
+	case b.openRow < 0:
+		// Row closed: activate.
+		cmd += int64(ch.cfg.TRCD)
+	default:
+		// Row conflict: precharge then activate.
+		cmd += int64(ch.cfg.TRP + ch.cfg.TRCD)
+	}
+	b.openRow = row
+
+	dataStart := cmd + int64(ch.cfg.TCAS)
+	if ch.busFree > dataStart {
+		dataStart = ch.busFree
+	}
+	// Write-to-read turnaround on the shared bus.
+	if kind == Read && b.lastWrite {
+		dataStart += int64(ch.cfg.TWTR)
+	}
+	done := dataStart + int64(ch.cfg.TBurst)
+
+	ch.busFree = done
+	// The bank can accept its next column command one burst slot after the
+	// effective command time of this one (tCCD); it is not blocked for the
+	// full CAS latency.
+	b.readyAt = dataStart - int64(ch.cfg.TCAS) + int64(ch.cfg.TBurst)
+	b.lastWrite = kind == Write
+	return done
+}
+
+// Burst identifies one cache-line-sized transfer by physical location.
+type Burst struct {
+	Channel int
+	Bank    int
+	Row     int64
+	Kind    AccessKind
+}
+
+// System is a multi-channel DRAM system with a trivial address decoder:
+// byte address → burst → channel (low bits) → bank/row.
+type System struct {
+	cfg      Config
+	channels []*Channel
+}
+
+// NewSystem builds a System from cfg. It panics if cfg is invalid, since a
+// bad configuration is a programming error at construction time.
+func NewSystem(cfg Config) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	chs := make([]*Channel, cfg.Channels)
+	for i := range chs {
+		chs[i] = NewChannel(cfg)
+	}
+	return &System{cfg: cfg, channels: chs}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Reset idles every channel.
+func (s *System) Reset() {
+	for _, ch := range s.channels {
+		ch.Reset()
+	}
+}
+
+// Decode maps a byte address to its burst location.
+func (s *System) Decode(addr int64, kind AccessKind) Burst {
+	burstIdx := addr / int64(s.cfg.BurstBytes)
+	channel := int(burstIdx % int64(s.cfg.Channels))
+	perChan := burstIdx / int64(s.cfg.Channels)
+	burstsPerRow := int64(s.cfg.RowBytes / s.cfg.BurstBytes)
+	rowIdx := perChan / burstsPerRow
+	bank := int(rowIdx % int64(s.cfg.BanksPerChannel))
+	row := rowIdx / int64(s.cfg.BanksPerChannel)
+	return Burst{Channel: channel, Bank: bank, Row: row, Kind: kind}
+}
+
+// Access performs one burst at address addr starting no earlier than DRAM
+// cycle now; it returns the completion DRAM cycle.
+func (s *System) Access(now int64, addr int64, kind AccessKind) int64 {
+	b := s.Decode(addr, kind)
+	return s.channels[b.Channel].Access(now, b.Bank, b.Row, kind)
+}
+
+// Sequence replays a list of bursts starting at DRAM cycle 0, issuing each
+// burst as early as possible (bursts to different channels overlap), and
+// returns the completion time of the last burst in DRAM cycles. This is how
+// the ORAM path read/write pattern is costed.
+func (s *System) Sequence(bursts []Burst) int64 {
+	return s.SequenceFrom(0, bursts)
+}
+
+// SequenceFrom replays bursts with no burst issuing before DRAM cycle start
+// and returns the completion cycle of the last burst. Callers use start as a
+// dependency barrier: the recursive ORAM's position-map lookups serialize
+// tree-by-tree, and a tree's write-back begins only after its read completes.
+func (s *System) SequenceFrom(start int64, bursts []Burst) int64 {
+	done := start
+	for _, b := range bursts {
+		t := s.channels[b.Channel].Access(start, b.Bank, b.Row, b.Kind)
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// FlatLatency models the insecure baseline main memory (base_dram in §9.1.6):
+// a flat latency per cache-line access, in processor cycles.
+const FlatLatency = 40

@@ -1,0 +1,211 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadValues(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero channels", func(c *Config) { c.Channels = 0 }},
+		{"negative banks", func(c *Config) { c.BanksPerChannel = -1 }},
+		{"zero row", func(c *Config) { c.RowBytes = 0 }},
+		{"row not multiple of burst", func(c *Config) { c.RowBytes = 100 }},
+		{"zero burst", func(c *Config) { c.BurstBytes = 0 }},
+		{"zero tCAS", func(c *Config) { c.TCAS = 0 }},
+		{"zero tRCD", func(c *Config) { c.TRCD = 0 }},
+		{"zero tRP", func(c *Config) { c.TRP = 0 }},
+		{"zero tBurst", func(c *Config) { c.TBurst = 0 }},
+		{"zero clock num", func(c *Config) { c.CPUCycleNum = 0 }},
+		{"zero clock den", func(c *Config) { c.CPUCycleDen = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("Validate() accepted invalid config %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestToCPUCyclesRoundsUp(t *testing.T) {
+	cfg := Default() // 3/4 ratio
+	cases := []struct {
+		dram, cpu int64
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 3}, {5, 4}, {8, 6}, {1984, 1488},
+	}
+	for _, tc := range cases {
+		if got := cfg.ToCPUCycles(tc.dram); got != tc.cpu {
+			t.Errorf("ToCPUCycles(%d) = %d, want %d", tc.dram, got, tc.cpu)
+		}
+	}
+}
+
+func TestPinBandwidth(t *testing.T) {
+	// Table 1: 16 B/DRAM-cycle per channel, 2 channels, DRAM clock 4/3 of
+	// CPU clock → 42.67 B per CPU cycle.
+	got := Default().PinBandwidthBytesPerCPUCycle()
+	want := 16.0 * 2 * 4 / 3
+	if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("PinBandwidthBytesPerCPUCycle() = %v, want %v", got, want)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := Default()
+	ch := NewChannel(cfg)
+	// First access: row closed → activate + CAS + burst.
+	first := ch.Access(0, 0, 7, Read)
+	wantFirst := int64(cfg.TRCD + cfg.TCAS + cfg.TBurst)
+	if first != wantFirst {
+		t.Fatalf("closed-row access latency = %d, want %d", first, wantFirst)
+	}
+	// Row hit on same row: only CAS + burst beyond bank ready time.
+	second := ch.Access(first, 0, 7, Read)
+	if hit := second - first; hit != int64(cfg.TCAS+cfg.TBurst) {
+		t.Fatalf("row-hit latency = %d, want %d", hit, cfg.TCAS+cfg.TBurst)
+	}
+	// Row conflict: precharge + activate + CAS + burst.
+	third := ch.Access(second, 0, 99, Read)
+	if conflict := third - second; conflict != int64(cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst) {
+		t.Fatalf("row-conflict latency = %d, want %d", conflict, cfg.TRP+cfg.TRCD+cfg.TCAS+cfg.TBurst)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	cfg := Default()
+	ch := NewChannel(cfg)
+	w := ch.Access(0, 0, 3, Write)
+	r := ch.Access(w, 0, 3, Read)
+	// Same open row, but read-after-write pays TWTR.
+	if gap := r - w; gap != int64(cfg.TCAS+cfg.TBurst+cfg.TWTR) {
+		t.Fatalf("write→read latency = %d, want %d", gap, cfg.TCAS+cfg.TBurst+cfg.TWTR)
+	}
+	r2 := ch.Access(r, 0, 3, Read)
+	if gap := r2 - r; gap != int64(cfg.TCAS+cfg.TBurst) {
+		t.Fatalf("read→read latency = %d, want %d", gap, cfg.TCAS+cfg.TBurst)
+	}
+}
+
+func TestBankParallelismOverlaps(t *testing.T) {
+	cfg := Default()
+	ch := NewChannel(cfg)
+	// Two accesses to different banks: activates overlap, data serializes
+	// on the bus, so total < 2× serial latency.
+	serial := int64(2 * (cfg.TRCD + cfg.TCAS + cfg.TBurst))
+	a := ch.Access(0, 0, 1, Read)
+	b := ch.Access(0, 1, 1, Read)
+	last := a
+	if b > last {
+		last = b
+	}
+	if last >= serial {
+		t.Fatalf("two-bank completion %d not faster than serial %d", last, serial)
+	}
+	if gap := b - a; gap != int64(cfg.TBurst) {
+		t.Fatalf("bus gap between overlapped banks = %d, want %d (bus-limited)", gap, cfg.TBurst)
+	}
+}
+
+func TestDecodeStripesChannels(t *testing.T) {
+	sys := NewSystem(Default())
+	b0 := sys.Decode(0, Read)
+	b1 := sys.Decode(64, Read)
+	if b0.Channel == b1.Channel {
+		t.Fatalf("consecutive bursts on same channel %d; want striping", b0.Channel)
+	}
+	if b0.Bank != b1.Bank && b0.Row != b1.Row {
+		// striping only changes channel for adjacent lines
+		t.Fatalf("adjacent lines differ beyond channel: %+v vs %+v", b0, b1)
+	}
+}
+
+func TestDecodeDeterministicAndInRange(t *testing.T) {
+	sys := NewSystem(Default())
+	cfg := sys.Config()
+	f := func(addr uint32) bool {
+		b := sys.Decode(int64(addr), Read)
+		b2 := sys.Decode(int64(addr), Read)
+		return b == b2 &&
+			b.Channel >= 0 && b.Channel < cfg.Channels &&
+			b.Bank >= 0 && b.Bank < cfg.BanksPerChannel &&
+			b.Row >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceDeterministic(t *testing.T) {
+	mk := func() int64 {
+		sys := NewSystem(Default())
+		var bursts []Burst
+		for i := int64(0); i < 500; i++ {
+			bursts = append(bursts, sys.Decode(i*64, Read))
+		}
+		return sys.Sequence(bursts)
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Fatalf("Sequence not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSequenceBandwidthBound(t *testing.T) {
+	// A long streaming read cannot exceed the pin bandwidth: n bursts of
+	// 64 B on 2 channels take at least n*TBurst/Channels DRAM cycles.
+	sys := NewSystem(Default())
+	cfg := sys.Config()
+	n := int64(4096)
+	var bursts []Burst
+	for i := int64(0); i < n; i++ {
+		bursts = append(bursts, sys.Decode(i*64, Read))
+	}
+	done := sys.Sequence(bursts)
+	minCycles := n * int64(cfg.TBurst) / int64(cfg.Channels)
+	if done < minCycles {
+		t.Fatalf("streaming %d bursts finished in %d DRAM cycles, below bus bound %d", n, done, minCycles)
+	}
+	// And streaming should be reasonably efficient (row hits): within 2x
+	// of the bound.
+	if done > 2*minCycles {
+		t.Fatalf("streaming %d bursts took %d DRAM cycles, more than 2× bus bound %d", n, done, minCycles)
+	}
+}
+
+func TestSystemResetRestoresIdle(t *testing.T) {
+	sys := NewSystem(Default())
+	b := []Burst{sys.Decode(0, Read), sys.Decode(64, Read), sys.Decode(4096, Write)}
+	t1 := sys.Sequence(b)
+	sys.Reset()
+	b2 := []Burst{sys.Decode(0, Read), sys.Decode(64, Read), sys.Decode(4096, Write)}
+	t2 := sys.Sequence(b2)
+	if t1 != t2 {
+		t.Fatalf("Reset did not restore idle state: %d vs %d", t1, t2)
+	}
+}
+
+func TestFlatLatencyMatchesPaper(t *testing.T) {
+	// §9.1.2: "We model main memory latency for insecure systems with a
+	// flat 40 cycles."
+	if FlatLatency != 40 {
+		t.Fatalf("FlatLatency = %d, want 40", FlatLatency)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("AccessKind.String() mismatch")
+	}
+}

@@ -1,0 +1,150 @@
+// Package leakage implements the paper's information-theoretic leakage
+// accounting (§2.1, §6, §10): worst-case bit leakage is the base-2 log of
+// the number of distinct observable timing traces a program could generate.
+// The package computes
+//
+//   - the dynamic scheme's bound |E|·lg|R| (+ lg Tmax for early
+//     termination), with |E| derived from an epoch schedule;
+//   - the unprotected baseline's trace count (Example 6.1's double sum,
+//     also via an equivalent DP recurrence and a log-domain approximation
+//     for astronomically large T);
+//   - termination-time discretization (§6) and additive composition across
+//     channels (§10);
+//   - the probabilistic-leakage refinement of §10.
+package leakage
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"tcoram/internal/core"
+)
+
+// Bits is a leakage quantity in bits. Values may be fractional because they
+// are logarithms of trace counts.
+type Bits float64
+
+// String renders with two decimals, as leakage bounds are usually reported.
+func (b Bits) String() string { return fmt.Sprintf("%.2f bits", float64(b)) }
+
+// Log2Big returns lg(n) for a positive big integer, exact to float64
+// precision. lg(0) is defined as 0 here (one trace — no information).
+func Log2Big(n *big.Int) Bits {
+	if n.Sign() <= 0 {
+		return 0
+	}
+	bitLen := n.BitLen()
+	if bitLen <= 53 {
+		return Bits(math.Log2(float64(n.Int64())))
+	}
+	// n = m · 2^(bitLen-53) with 53-bit mantissa m.
+	shift := bitLen - 53
+	m := new(big.Int).Rsh(n, uint(shift))
+	return Bits(math.Log2(float64(m.Int64())) + float64(shift))
+}
+
+// TraceCountDynamic returns the number of distinct timing traces the
+// dynamic scheme can generate from the ORAM channel alone: |R|^|E| (§6.1).
+func TraceCountDynamic(numRates int, numEpochs int) *big.Int {
+	if numRates < 1 || numEpochs < 0 {
+		return big.NewInt(1)
+	}
+	return new(big.Int).Exp(big.NewInt(int64(numRates)), big.NewInt(int64(numEpochs)), nil)
+}
+
+// ORAMTimingBits is the dynamic scheme's ORAM-channel bound:
+// |E| · lg|R| bits (§2.2.1).
+func ORAMTimingBits(numRates int, numEpochs int) Bits {
+	if numRates <= 1 || numEpochs <= 0 {
+		return 0
+	}
+	return Bits(float64(numEpochs) * math.Log2(float64(numRates)))
+}
+
+// TerminationBits is the early-termination channel: lg Tmax bits (§6),
+// optionally reduced by discretizing the termination time to multiples of
+// 2^discretizeLog2 cycles ("round up to the next 2^30 cycles" reduces
+// lg 2^62 = 62 bits to lg 2^32 = 32 bits).
+func TerminationBits(tmax uint64, discretizeLog2 uint) Bits {
+	if tmax == 0 {
+		return 0
+	}
+	lg := math.Log2(float64(tmax))
+	lg -= float64(discretizeLog2)
+	if lg < 0 {
+		return 0
+	}
+	return Bits(lg)
+}
+
+// Budget describes a leakage configuration to account for.
+type Budget struct {
+	// NumRates is |R|.
+	NumRates int
+	// Schedule is the epoch schedule used for leakage accounting — the
+	// paper-scale schedule (first epoch 2^30), not the simulation-scaled
+	// one.
+	Schedule core.EpochSchedule
+	// Tmax is the maximum runtime for accounting (paper: 2^62).
+	Tmax uint64
+	// TerminationDiscretizeLog2 rounds observable termination times up to
+	// multiples of 2^k cycles (0 = exact termination time visible).
+	TerminationDiscretizeLog2 uint
+}
+
+// PaperBudget returns the paper's accounting configuration for a dynamic
+// scheme with |R| rates and the given epoch growth factor.
+func PaperBudget(numRates int, growth uint64) Budget {
+	return Budget{
+		NumRates: numRates,
+		Schedule: core.PaperSchedule(growth),
+		Tmax:     core.PaperTmax,
+	}
+}
+
+// Epochs returns |E| under this budget.
+func (b Budget) Epochs() int { return b.Schedule.EpochsWithin(b.Tmax) }
+
+// ORAMBits returns the ORAM timing channel bound.
+func (b Budget) ORAMBits() Bits { return ORAMTimingBits(b.NumRates, b.Epochs()) }
+
+// TerminationChannelBits returns the early-termination bound.
+func (b Budget) TerminationChannelBits() Bits {
+	return TerminationBits(b.Tmax, b.TerminationDiscretizeLog2)
+}
+
+// TotalBits returns the combined bound. Bit leakage across channels is
+// additive (§10): lg(∏|Ti|) = Σ lg|Ti|.
+func (b Budget) TotalBits() Bits {
+	return b.ORAMBits() + b.TerminationChannelBits()
+}
+
+// Compose sums leakage across independent channels (§10: "bit leakage
+// across different channels is additive").
+func Compose(channels ...Bits) Bits {
+	var sum Bits
+	for _, c := range channels {
+		sum += c
+	}
+	return sum
+}
+
+// StaticBits is the leakage of a static-rate scheme over the ORAM timing
+// channel: exactly one trace, so lg 1 = 0 bits (Example 2.1).
+func StaticBits() Bits { return 0 }
+
+// MaliciousProgramBits is Example 2.1's malicious program P1: it can
+// generate 2^T distinct traces in T time steps, leaking T bits.
+func MaliciousProgramBits(timeSteps int) Bits { return Bits(timeSteps) }
+
+// ProbLearnMoreBits is the §10 refinement: with an L-bit deterministic
+// bound, an adversary using a concrete-assignment encoding can learn
+// Lprime > L bits with probability 2^(L-1) / 2^Lprime (for uniformly
+// distributed user data).
+func ProbLearnMoreBits(l, lprime int) float64 {
+	if lprime < l || l < 1 {
+		return 0
+	}
+	return math.Exp2(float64(l-1) - float64(lprime))
+}

@@ -1,0 +1,248 @@
+package leakage
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"tcoram/internal/core"
+)
+
+func TestLog2Big(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want float64
+	}{
+		{1, 0}, {2, 1}, {4, 2}, {1024, 10}, {3, math.Log2(3)},
+	}
+	for _, tc := range cases {
+		got := float64(Log2Big(big.NewInt(tc.n)))
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Log2Big(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+	}
+	// Huge value: 2^200 → exactly 200 bits.
+	huge := new(big.Int).Lsh(big.NewInt(1), 200)
+	if got := float64(Log2Big(huge)); math.Abs(got-200) > 1e-9 {
+		t.Fatalf("Log2Big(2^200) = %v, want 200", got)
+	}
+	if Log2Big(big.NewInt(0)) != 0 {
+		t.Fatal("Log2Big(0) should be 0")
+	}
+}
+
+func TestExample21MaliciousProgram(t *testing.T) {
+	// Example 2.1: P1 generates 2^T traces in T time → T bits; a single
+	// static rate yields exactly one trace → 0 bits.
+	if got := MaliciousProgramBits(10); got != 10 {
+		t.Fatalf("MaliciousProgramBits(10) = %v, want 10", got)
+	}
+	if StaticBits() != 0 {
+		t.Fatal("static scheme must leak 0 bits over the ORAM channel")
+	}
+}
+
+func TestExample61DynamicLeakage(t *testing.T) {
+	// Example 6.1: first epoch 2^30, doubling, |R| = 4, Tmax = 2^62 →
+	// 32 epochs → lg 4^32 = 64 bits; with early termination ≤ 64 + 62 =
+	// 126 bits.
+	b := PaperBudget(4, 2)
+	if e := b.Epochs(); e != 32 {
+		t.Fatalf("epochs = %d, want 32", e)
+	}
+	if got := float64(b.ORAMBits()); got != 64 {
+		t.Fatalf("ORAM bits = %v, want 64", got)
+	}
+	if got := float64(b.TotalBits()); got != 126 {
+		t.Fatalf("total bits = %v, want 126", got)
+	}
+	// Trace count is 4^32 exactly.
+	want := new(big.Int).Exp(big.NewInt(4), big.NewInt(32), nil)
+	if TraceCountDynamic(4, 32).Cmp(want) != 0 {
+		t.Fatal("TraceCountDynamic(4,32) != 4^32")
+	}
+}
+
+func TestPaperHeadlineConfigs(t *testing.T) {
+	// §9.3: dynamic_R4_E4 expends 16 epochs → 32 bits.
+	r4e4 := PaperBudget(4, 4)
+	if got := float64(r4e4.ORAMBits()); got != 32 {
+		t.Fatalf("R4_E4 = %v bits, want 32", got)
+	}
+	// §9.5: dynamic_R4_E16 (8 epochs in Tmax) → 16 bits.
+	r4e16 := PaperBudget(4, 16)
+	if got := float64(r4e16.ORAMBits()); got != 16 {
+		t.Fatalf("R4_E16 = %v bits, want 16", got)
+	}
+	// §9.5: halving |R| from 16 to 4 drops leakage 2×: E2 with |R|=16 is
+	// 32·4 = 128 bits; |R|=4 is 64.
+	if got := float64(PaperBudget(16, 2).ORAMBits()); got != 128 {
+		t.Fatalf("R16_E2 = %v bits, want 128", got)
+	}
+	if got := float64(PaperBudget(4, 2).ORAMBits()); got != 64 {
+		t.Fatalf("R4_E2 = %v bits, want 64", got)
+	}
+	// Total with termination: 62 + 32 = 94 bits for R4_E4 (§9.3).
+	if got := float64(r4e4.TotalBits()); got != 94 {
+		t.Fatalf("R4_E4 total = %v, want 94", got)
+	}
+}
+
+func TestTerminationDiscretization(t *testing.T) {
+	// §6: lg Tmax = 62 bits; rounding termination up to 2^30 cycles
+	// reduces it to lg 2^(62−30) = 32 bits.
+	if got := float64(TerminationBits(core.PaperTmax, 0)); got != 62 {
+		t.Fatalf("TerminationBits = %v, want 62", got)
+	}
+	if got := float64(TerminationBits(core.PaperTmax, 30)); got != 32 {
+		t.Fatalf("discretized TerminationBits = %v, want 32", got)
+	}
+	if got := float64(TerminationBits(core.PaperTmax, 70)); got != 0 {
+		t.Fatalf("over-discretized TerminationBits = %v, want 0", got)
+	}
+	if TerminationBits(0, 0) != 0 {
+		t.Fatal("TerminationBits(0) should be 0")
+	}
+}
+
+func TestComposeAdditive(t *testing.T) {
+	// §10: leakage across channels is additive.
+	got := Compose(Bits(32), Bits(62), Bits(6))
+	if float64(got) != 100 {
+		t.Fatalf("Compose = %v, want 100", got)
+	}
+	if Compose() != 0 {
+		t.Fatal("empty Compose should be 0")
+	}
+}
+
+func TestORAMTimingBitsDegenerate(t *testing.T) {
+	if ORAMTimingBits(1, 100) != 0 {
+		t.Fatal("|R|=1 must leak 0 bits")
+	}
+	if ORAMTimingBits(4, 0) != 0 {
+		t.Fatal("0 epochs must leak 0 bits")
+	}
+}
+
+func TestUnprotectedRecurrenceMatchesBinomial(t *testing.T) {
+	// The DP recurrence and Example 6.1's binomial double-sum must agree.
+	for _, olat := range []int{1, 2, 3, 7} {
+		for _, tm := range []int{0, 1, 2, 5, 13, 40} {
+			dp := UnprotectedTraceCount(tm, olat)
+			bn := UnprotectedTraceCountBinomial(tm, olat)
+			if dp.Cmp(bn) != 0 {
+				t.Fatalf("t=%d olat=%d: DP %s != binomial %s", tm, olat, dp, bn)
+			}
+		}
+	}
+}
+
+func TestUnprotectedKnownSmallCounts(t *testing.T) {
+	// olat=1: every step may independently access → 2^t traces.
+	for tm := 0; tm <= 10; tm++ {
+		want := new(big.Int).Lsh(big.NewInt(1), uint(tm))
+		if got := UnprotectedTraceCount(tm, 1); got.Cmp(want) != 0 {
+			t.Fatalf("olat=1 t=%d: %s, want %s", tm, got, want)
+		}
+	}
+	// olat=2: Fibonacci growth — f(t) = f(t−1) + f(t−2), f(0)=f(1)=1.
+	want := []int64{1, 1, 2, 3, 5, 8, 13}
+	for tm, w := range want {
+		if got := UnprotectedTraceCount(tm, 2); got.Int64() != w {
+			t.Fatalf("olat=2 t=%d: %s, want %d", tm, got, w)
+		}
+	}
+}
+
+func TestUnprotectedMonotone(t *testing.T) {
+	prev := big.NewInt(0)
+	for tm := 0; tm <= 60; tm++ {
+		cur := UnprotectedTraceCount(tm, 5)
+		if cur.Cmp(prev) < 0 {
+			t.Fatalf("trace count decreased at t=%d", tm)
+		}
+		prev = cur
+	}
+	// Larger OLAT → fewer traces (accesses block longer).
+	a := UnprotectedTraceCount(50, 3)
+	b := UnprotectedTraceCount(50, 10)
+	if a.Cmp(b) <= 0 {
+		t.Fatal("larger OLAT should reduce trace count")
+	}
+}
+
+func TestUnprotectedApproxConvergesToExact(t *testing.T) {
+	for _, olat := range []int{2, 5, 20} {
+		tm := 4000
+		exact := float64(UnprotectedBitsExact(tm, olat))
+		approx := float64(UnprotectedBitsApprox(float64(tm), olat))
+		if exact == 0 {
+			t.Fatal("degenerate exact value")
+		}
+		rel := math.Abs(exact-approx) / exact
+		if rel > 0.02 {
+			t.Fatalf("olat=%d: approx %v vs exact %v (rel err %.3f)", olat, approx, exact, rel)
+		}
+	}
+}
+
+func TestUnprotectedAstronomicalAtPaperScale(t *testing.T) {
+	// §Example 6.1: with OLAT in the thousands, the unprotected leakage
+	// at Tmax = 2^62 is astronomical — vastly above the 126-bit dynamic
+	// bound.
+	bits := float64(UnprotectedBitsApprox(math.Exp2(62), 1488))
+	if bits < 1e9 {
+		t.Fatalf("unprotected bound = %v bits; expected astronomical (>1e9)", bits)
+	}
+	dynamic := float64(PaperBudget(4, 2).TotalBits())
+	if bits < 1e6*dynamic {
+		t.Fatalf("unprotected (%v) should dwarf dynamic (%v)", bits, dynamic)
+	}
+}
+
+func TestUnprotectedAllTerminations(t *testing.T) {
+	// Summing per-termination counts must exceed the count at tmax alone
+	// and stay below tmax × that count.
+	tmax, olat := 30, 4
+	sum := UnprotectedTraceCountAllTerminations(tmax, olat)
+	at := UnprotectedTraceCount(tmax, olat)
+	if sum.Cmp(at) <= 0 {
+		t.Fatal("all-terminations sum should exceed single-termination count")
+	}
+	bound := new(big.Int).Mul(at, big.NewInt(int64(tmax)))
+	if sum.Cmp(bound) > 0 {
+		t.Fatal("all-terminations sum exceeds tmax × max count")
+	}
+}
+
+func TestProbLearnMoreBits(t *testing.T) {
+	// §10: one trace pair (L=1); learning L'=3 bits happens w.p.
+	// 2^(1−1)/2^3 = 1/8.
+	if got := ProbLearnMoreBits(1, 3); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("ProbLearnMoreBits(1,3) = %v, want 0.125", got)
+	}
+	if got := ProbLearnMoreBits(4, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ProbLearnMoreBits(4,4) = %v, want 0.5", got)
+	}
+	if ProbLearnMoreBits(3, 2) != 0 {
+		t.Fatal("Lprime < L should be probability 0")
+	}
+	if ProbLearnMoreBits(0, 2) != 0 {
+		t.Fatal("L < 1 should be probability 0")
+	}
+}
+
+func TestBitsString(t *testing.T) {
+	if Bits(32).String() != "32.00 bits" {
+		t.Fatalf("Bits.String() = %q", Bits(32).String())
+	}
+}
+
+func TestBudgetTerminationChannel(t *testing.T) {
+	b := PaperBudget(4, 4)
+	b.TerminationDiscretizeLog2 = 30
+	if got := float64(b.TotalBits()); got != 32+32 {
+		t.Fatalf("discretized total = %v, want 64", got)
+	}
+}

@@ -1,0 +1,87 @@
+package leakage
+
+import (
+	"fmt"
+	"math"
+
+	"tcoram/internal/core"
+)
+
+// Monitor implements the first use of the leakage measure suggested in
+// §2.1: "we can track the number of traces using hardware mechanisms, and
+// (for example) shut down the chip if leakage exceeds L before the program
+// terminates." Realized ORAM-channel leakage grows by lg|R| bits at every
+// epoch transition (one |R|-way choice becomes observable); the monitor
+// compares it against the session's limit L.
+type Monitor struct {
+	numRates int
+	limit    Bits
+	realized Bits
+	epochs   int
+	tripped  bool
+}
+
+// NewMonitor creates a monitor for a dynamic scheme with |R| = numRates and
+// session leakage limit L (ORAM channel only; compose the termination
+// channel separately via Compose).
+func NewMonitor(numRates int, limit Bits) (*Monitor, error) {
+	if numRates < 1 {
+		return nil, fmt.Errorf("leakage: numRates must be ≥ 1, got %d", numRates)
+	}
+	if limit < 0 {
+		return nil, fmt.Errorf("leakage: negative limit %v", limit)
+	}
+	return &Monitor{numRates: numRates, limit: limit}, nil
+}
+
+// BitsPerEpoch is the leakage cost of one rate choice: lg|R|.
+func (m *Monitor) BitsPerEpoch() Bits {
+	if m.numRates <= 1 {
+		return 0
+	}
+	return Bits(math.Log2(float64(m.numRates)))
+}
+
+// ObserveTransition records one epoch transition and reports whether the
+// accumulated leakage now exceeds the limit — the shutdown condition. Once
+// tripped, the monitor stays tripped.
+func (m *Monitor) ObserveTransition() (withinLimit bool) {
+	m.epochs++
+	m.realized += m.BitsPerEpoch()
+	if m.realized > m.limit {
+		m.tripped = true
+	}
+	return !m.tripped
+}
+
+// ObserveHistory replays an enforcer's rate-change history (skipping the
+// initial epoch-0 entry, which is not a choice) and reports whether the
+// limit held throughout.
+func (m *Monitor) ObserveHistory(history []core.RateChange) bool {
+	ok := true
+	for i := range history {
+		if history[i].Epoch == 0 {
+			continue
+		}
+		if !m.ObserveTransition() {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Realized returns the accumulated ORAM-channel leakage.
+func (m *Monitor) Realized() Bits { return m.realized }
+
+// Tripped reports whether the limit was ever exceeded.
+func (m *Monitor) Tripped() bool { return m.tripped }
+
+// EpochsAllowed returns how many epoch transitions fit within the limit —
+// the horizon after which the chip must stop adapting (or shut down).
+func (m *Monitor) EpochsAllowed() int {
+	per := float64(m.BitsPerEpoch())
+	if per == 0 {
+		return math.MaxInt32
+	}
+	return int(float64(m.limit) / per)
+}

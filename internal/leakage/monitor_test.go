@@ -1,0 +1,89 @@
+package leakage
+
+import (
+	"testing"
+
+	"tcoram/internal/core"
+)
+
+func TestMonitorBitsPerEpoch(t *testing.T) {
+	m, err := NewMonitor(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(m.BitsPerEpoch()); got != 2 {
+		t.Fatalf("BitsPerEpoch(|R|=4) = %v, want 2", got)
+	}
+	m1, _ := NewMonitor(1, 32)
+	if m1.BitsPerEpoch() != 0 {
+		t.Fatal("|R|=1 should cost 0 bits per epoch")
+	}
+}
+
+func TestMonitorTripsAtLimit(t *testing.T) {
+	// L = 32 bits, |R| = 4 → exactly 16 transitions allowed (§9.3's
+	// dynamic_R4_E4 budget).
+	m, err := NewMonitor(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EpochsAllowed(); got != 16 {
+		t.Fatalf("EpochsAllowed = %d, want 16", got)
+	}
+	for i := 0; i < 16; i++ {
+		if !m.ObserveTransition() {
+			t.Fatalf("tripped early at transition %d", i)
+		}
+	}
+	if m.ObserveTransition() {
+		t.Fatal("17th transition should exceed the 32-bit limit")
+	}
+	if !m.Tripped() {
+		t.Fatal("Tripped() = false after exceeding limit")
+	}
+	// Stays tripped.
+	if m.ObserveTransition() {
+		t.Fatal("monitor un-tripped itself")
+	}
+}
+
+func TestMonitorObserveHistory(t *testing.T) {
+	hist := []core.RateChange{
+		{Epoch: 0, Rate: 10000}, // initial rate: not a choice
+		{Epoch: 1, Rate: 256},
+		{Epoch: 2, Rate: 1290},
+		{Epoch: 3, Rate: 1290},
+	}
+	m, _ := NewMonitor(4, 32)
+	if !m.ObserveHistory(hist) {
+		t.Fatal("3 transitions × 2 bits should fit in 32")
+	}
+	if got := float64(m.Realized()); got != 6 {
+		t.Fatalf("Realized = %v, want 6", got)
+	}
+	tight, _ := NewMonitor(4, 4)
+	if tight.ObserveHistory(hist) {
+		t.Fatal("3 transitions × 2 bits must trip a 4-bit limit")
+	}
+}
+
+func TestMonitorRejectsBadInputs(t *testing.T) {
+	if _, err := NewMonitor(0, 32); err == nil {
+		t.Fatal("accepted |R|=0")
+	}
+	if _, err := NewMonitor(4, -1); err == nil {
+		t.Fatal("accepted negative limit")
+	}
+}
+
+func TestMonitorUnlimitedForSingleRate(t *testing.T) {
+	m, _ := NewMonitor(1, 0)
+	for i := 0; i < 100; i++ {
+		if !m.ObserveTransition() {
+			t.Fatal("|R|=1 monitor tripped despite zero-bit transitions")
+		}
+	}
+	if m.EpochsAllowed() < 1<<30 {
+		t.Fatal("|R|=1 should allow unbounded epochs")
+	}
+}

@@ -1,0 +1,111 @@
+package leakage
+
+import (
+	"math"
+	"math/big"
+)
+
+// This file bounds the information an *unprotected* ORAM (base_oram) can
+// leak through access timing. Example 6.1 counts, for every termination
+// time t ≤ Tmax, the number of t-step timing traces in which any access
+// (a "1") is followed by at least OLAT−1 quiet steps — i.e. binomial sums
+// over placements of i accesses in t steps. The count explodes ("the
+// resulting leakage is astronomical"), which is the paper's argument that
+// no-protection is unacceptable.
+
+// UnprotectedTraceCount returns the exact number of distinct access-timing
+// traces of length exactly t with per-access latency olat, via the linear
+// recurrence
+//
+//	f(n) = f(n−1) + f(n−olat) for n ≥ olat;  f(n) = 1 for 0 ≤ n < olat
+//
+// (a trace either starts with a quiet step, or with an access that blocks
+// the next olat steps — which must fit inside the trace, matching the
+// paper's footnote: "any 1 bit must be followed by at least OLAT−1
+// repeated 0 bits"). This equals Σ_i C(t − i(olat−1), i), the inner sum of
+// Example 6.1's formula for one termination time.
+func UnprotectedTraceCount(t int, olat int) *big.Int {
+	if t < 0 {
+		return big.NewInt(1)
+	}
+	if olat < 1 {
+		olat = 1
+	}
+	f := make([]*big.Int, t+1)
+	for n := 0; n <= t; n++ {
+		if n < olat {
+			f[n] = big.NewInt(1)
+			continue
+		}
+		f[n] = new(big.Int).Add(f[n-1], f[n-olat])
+	}
+	return f[t]
+}
+
+// UnprotectedTraceCountBinomial evaluates Example 6.1's inner sum directly:
+// Σ_{i=0}^{⌊t/olat⌋} C(t − i(olat−1), i). Used to cross-check the
+// recurrence in tests.
+func UnprotectedTraceCountBinomial(t int, olat int) *big.Int {
+	if t < 0 {
+		return big.NewInt(1)
+	}
+	if olat < 1 {
+		olat = 1
+	}
+	total := big.NewInt(0)
+	for i := 0; ; i++ {
+		n := t - i*(olat-1)
+		if n < i {
+			break
+		}
+		total.Add(total, new(big.Int).Binomial(int64(n), int64(i)))
+	}
+	return total
+}
+
+// UnprotectedTraceCountAllTerminations sums the per-termination counts over
+// every t ≤ tmax — the full outer sum of Example 6.1. Exact, so only
+// feasible for small tmax; use UnprotectedBitsApprox for paper-scale Tmax.
+func UnprotectedTraceCountAllTerminations(tmax int, olat int) *big.Int {
+	total := big.NewInt(0)
+	for t := 1; t <= tmax; t++ {
+		total.Add(total, UnprotectedTraceCount(t, olat))
+	}
+	return total
+}
+
+// UnprotectedBitsExact is lg of UnprotectedTraceCount.
+func UnprotectedBitsExact(t int, olat int) Bits {
+	return Log2Big(UnprotectedTraceCount(t, olat))
+}
+
+// UnprotectedBitsApprox estimates lg f(T) for astronomically large T using
+// the dominant root of the characteristic polynomial x^olat = x^(olat−1)+1:
+// f(T) ~ c·r^T, so lg f(T) ≈ T·lg r. The relative error vanishes as T
+// grows; tests check it against the exact DP at tractable sizes.
+func UnprotectedBitsApprox(t float64, olat int) Bits {
+	if olat < 1 {
+		olat = 1
+	}
+	r := dominantRoot(olat)
+	return Bits(t * math.Log2(r))
+}
+
+// dominantRoot finds the unique real root > 1 of x^olat − x^(olat−1) − 1 by
+// bisection (the function is increasing in x for x ≥ 1).
+func dominantRoot(olat int) float64 {
+	g := func(x float64) float64 {
+		// x^(olat-1)·(x − 1) − 1, computed in logs for stability.
+		return float64(olat-1)*math.Log(x) + math.Log(x-1)
+	}
+	lo, hi := 1.0+1e-15, 2.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if g(mid) < 0 { // g(x) < 0 ⟺ x^(olat−1)(x−1) < 1
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

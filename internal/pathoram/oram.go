@@ -1,0 +1,296 @@
+package pathoram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"tcoram/internal/crypt"
+)
+
+// Op distinguishes reads from writes at the ORAM interface.
+type Op uint8
+
+const (
+	// OpRead returns the current contents of a block.
+	OpRead Op = iota
+	// OpWrite replaces the contents of a block.
+	OpWrite
+)
+
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// BusEvent records one bucket transfer as seen on the memory bus. The
+// sequence of BusEvents for any access — real or dummy — is structurally
+// identical (same bucket sizes, a full path read then a full path write),
+// which is what makes dummy accesses indistinguishable (§1.1.2, §3.1).
+type BusEvent struct {
+	Bucket uint64
+	Write  bool
+}
+
+// ORAM is a single-level functional Path ORAM with a flat position map.
+// The Recursive type stacks these to form the paper's 3-level recursion.
+type ORAM struct {
+	geom    Geometry
+	store   Storage
+	cipher  *crypt.Cipher
+	stash   *Stash
+	posmap  map[uint64]uint64
+	rng     *rand.Rand
+	pathBuf []uint64
+	blkBuf  []Block
+
+	integrity *merkleTree // optional integrity extension ([25])
+
+	// Stats.
+	Accesses      uint64
+	DummyAccesses uint64
+	BusTrace      []BusEvent // populated only when TraceBus is true
+	TraceBus      bool
+}
+
+// NewORAM builds and initializes a functional ORAM: every bucket is written
+// once with an encryption of an all-dummy bucket, so the adversary-visible
+// memory is fully defined before the first access. rng drives leaf
+// remapping and must be cryptographically strong in a real deployment; a
+// seeded PRNG keeps tests and experiments deterministic.
+func NewORAM(g Geometry, key crypt.Key, rng *rand.Rand) (*ORAM, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	o := &ORAM{
+		geom:   g,
+		store:  NewByteStorage(g),
+		cipher: crypt.NewCipher(key, randReader{rng}),
+		stash:  NewStash(),
+		posmap: make(map[uint64]uint64),
+		rng:    rng,
+	}
+	empty := g.encodeBucket(nil)
+	for i := uint64(0); i < g.Buckets(); i++ {
+		ct, err := o.cipher.Encrypt(empty)
+		if err != nil {
+			return nil, err
+		}
+		o.store.WriteBucket(i, ct)
+	}
+	return o, nil
+}
+
+// randReader adapts a math/rand source to io.Reader for nonce generation in
+// deterministic experiments.
+type randReader struct{ r *rand.Rand }
+
+func (rr randReader) Read(p []byte) (int, error) {
+	for i := 0; i+8 <= len(p); i += 8 {
+		binary.LittleEndian.PutUint64(p[i:], rr.r.Uint64())
+	}
+	if rem := len(p) % 8; rem != 0 {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], rr.r.Uint64())
+		copy(p[len(p)-rem:], tmp[:rem])
+	}
+	return len(p), nil
+}
+
+// Geometry returns the tree shape.
+func (o *ORAM) Geometry() Geometry { return o.geom }
+
+// Storage exposes the untrusted memory (the adversary's vantage point).
+func (o *ORAM) Storage() *ByteStorage { return o.store.(*ByteStorage) }
+
+// StashOccupancy returns current and peak stash sizes.
+func (o *ORAM) StashOccupancy() (cur, peak int) {
+	return o.stash.Len(), o.stash.MaxOccupancy()
+}
+
+// EnableIntegrity attaches a Merkle tree over the bucket ciphertexts,
+// implementing the integrity-verification extension the paper defers to
+// [25] (§4.3). Must be called before any accesses.
+func (o *ORAM) EnableIntegrity() {
+	if o.Accesses != 0 || o.DummyAccesses != 0 {
+		panic("pathoram: EnableIntegrity must precede all accesses")
+	}
+	o.integrity = newMerkleTree(o.geom, o.store)
+}
+
+// PositionOf returns the leaf currently assigned to addr and whether the
+// block has ever been written (test hook for the path invariant).
+func (o *ORAM) PositionOf(addr uint64) (uint64, bool) {
+	l, ok := o.posmap[addr]
+	return l, ok
+}
+
+// randomLeaf samples a uniformly random leaf.
+func (o *ORAM) randomLeaf() uint64 {
+	return uint64(o.rng.Int63n(int64(o.geom.Leaves())))
+}
+
+// Access performs one Path ORAM access: read the path for addr's current
+// leaf, remap addr to a fresh random leaf, serve the request from the
+// stash, and greedily write the path back. For OpRead, the returned slice
+// is the block payload (zeroes if never written). For OpWrite, data must be
+// exactly BlockBytes long.
+func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, error) {
+	if addr >= DummyAddr {
+		return nil, fmt.Errorf("pathoram: address %#x out of range", addr)
+	}
+	if op == OpWrite && len(data) != o.geom.BlockBytes {
+		return nil, fmt.Errorf("pathoram: write payload is %d bytes, want %d", len(data), o.geom.BlockBytes)
+	}
+
+	leaf, known := o.posmap[addr]
+	if !known {
+		leaf = o.randomLeaf()
+	}
+	// Remap before the write-back so the fetched block re-enters the tree
+	// under its new, independent leaf — the critical security step (§3.1).
+	newLeaf := o.randomLeaf()
+	o.posmap[addr] = newLeaf
+
+	if err := o.readPath(leaf); err != nil {
+		return nil, err
+	}
+
+	blk := o.stash.Get(addr)
+	if blk == nil {
+		b := Block{Addr: addr, Leaf: newLeaf, Data: make([]byte, o.geom.BlockBytes)}
+		o.stash.Put(b)
+		blk = o.stash.Get(addr)
+	}
+	blk.Leaf = newLeaf
+
+	var out []byte
+	switch op {
+	case OpWrite:
+		copy(blk.Data, data)
+	case OpRead:
+		out = make([]byte, o.geom.BlockBytes)
+		copy(out, blk.Data)
+	}
+
+	if err := o.writePath(leaf); err != nil {
+		return nil, err
+	}
+	o.Accesses++
+	return out, nil
+}
+
+// DummyAccess reads and rewrites the path to a uniformly random leaf without
+// touching any block — the indistinguishable "fixed program address" access
+// of §1.1.2. The bus trace it produces has the same shape as a real access.
+func (o *ORAM) DummyAccess() error {
+	leaf := o.randomLeaf()
+	if err := o.readPath(leaf); err != nil {
+		return err
+	}
+	if err := o.writePath(leaf); err != nil {
+		return err
+	}
+	o.DummyAccesses++
+	return nil
+}
+
+// readPath decrypts every bucket on the path to leaf into the stash.
+func (o *ORAM) readPath(leaf uint64) error {
+	o.pathBuf = o.geom.PathIndices(o.pathBuf[:0], leaf)
+	for _, idx := range o.pathBuf {
+		ct := o.store.ReadBucket(idx)
+		if o.integrity != nil {
+			if err := o.integrity.verify(idx, ct); err != nil {
+				return err
+			}
+		}
+		plain, err := o.cipher.Decrypt(ct)
+		if err != nil {
+			return err
+		}
+		o.blkBuf, err = o.geom.decodeBucket(o.blkBuf[:0], plain)
+		if err != nil {
+			return err
+		}
+		for _, b := range o.blkBuf {
+			o.stash.Put(b)
+		}
+		if o.TraceBus {
+			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: false})
+		}
+	}
+	return nil
+}
+
+// writePath re-encrypts the path to leaf, evicting stash blocks greedily
+// from the leaf level upward.
+func (o *ORAM) writePath(leaf uint64) error {
+	o.pathBuf = o.geom.PathIndices(o.pathBuf[:0], leaf)
+	for level := o.geom.Levels - 1; level >= 0; level-- {
+		idx := o.pathBuf[level]
+		blocks := o.stash.EvictForBucket(o.geom, leaf, level, o.geom.Z)
+		ct, err := o.cipher.Encrypt(o.geom.encodeBucket(blocks))
+		if err != nil {
+			return err
+		}
+		o.store.WriteBucket(idx, ct)
+		if o.integrity != nil {
+			o.integrity.update(idx, ct)
+		}
+		if o.TraceBus {
+			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: true})
+		}
+	}
+	return nil
+}
+
+// CheckInvariant verifies Path ORAM's core invariant for every mapped block:
+// the block is either in the stash or stored on the path from the root to
+// its assigned leaf. It is O(tree) and intended for tests.
+func (o *ORAM) CheckInvariant() error {
+	// Decrypt the full tree once.
+	located := make(map[uint64]uint64) // addr -> bucket index
+	var blocks []Block
+	for idx := uint64(0); idx < o.geom.Buckets(); idx++ {
+		plain, err := o.cipher.Decrypt(o.store.ReadBucket(idx))
+		if err != nil {
+			return err
+		}
+		blocks, err = o.geom.decodeBucket(blocks[:0], plain)
+		if err != nil {
+			return err
+		}
+		for _, b := range blocks {
+			if prev, dup := located[b.Addr]; dup {
+				return fmt.Errorf("pathoram: block %#x duplicated in buckets %d and %d", b.Addr, prev, idx)
+			}
+			located[b.Addr] = idx
+		}
+	}
+	for addr, leaf := range o.posmap {
+		if o.stash.Get(addr) != nil {
+			continue
+		}
+		bucket, ok := located[addr]
+		if !ok {
+			return fmt.Errorf("pathoram: mapped block %#x in neither stash nor tree", addr)
+		}
+		onPath := false
+		for level := 0; level < o.geom.Levels; level++ {
+			if o.geom.NodeIndex(leaf, level) == bucket {
+				onPath = true
+				break
+			}
+		}
+		if !onPath {
+			return fmt.Errorf("pathoram: block %#x in bucket %d is off the path to its leaf %d", addr, bucket, leaf)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package pathoram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"tcoram/internal/crypt"
+)
+
+// LabelBytes is the packed size of one leaf label inside a position-map
+// block. 4 bytes supports trees up to 2^32 leaves; recursive blocks of
+// 32 bytes therefore hold 8 labels each, matching the fan-out used when
+// sizing the paper's 3-level recursion (§9.1.2).
+const LabelBytes = 4
+
+// unassignedLabel marks a position-map slot whose block has never been
+// accessed; the controller substitutes a fresh random leaf on first touch.
+const unassignedLabel = uint32(0xFFFFFFFF)
+
+// RecursiveConfig describes a recursive Path ORAM stack: one data ORAM plus
+// Recursion position-map ORAMs, with the final (smallest) position map held
+// on-chip.
+type RecursiveConfig struct {
+	// DataBlocks is the number of program blocks (cache lines) stored.
+	DataBlocks uint64
+	// DataBlockBytes is the data ORAM block size (paper: 64 B).
+	DataBlockBytes int
+	// PosMapBlockBytes is the recursive ORAM block size (paper: 32 B).
+	PosMapBlockBytes int
+	// Z is the bucket capacity for all ORAMs (paper: 3).
+	Z int
+	// Recursion is the number of position-map ORAM levels (paper: 3).
+	Recursion int
+}
+
+// DefaultRecursiveConfig mirrors §9.1.2: Z = 3 everywhere, 64 B data blocks,
+// 32 B position-map blocks, 3 levels of recursion.
+func DefaultRecursiveConfig(dataBlocks uint64) RecursiveConfig {
+	return RecursiveConfig{
+		DataBlocks:       dataBlocks,
+		DataBlockBytes:   64,
+		PosMapBlockBytes: 32,
+		Z:                3,
+		Recursion:        3,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c RecursiveConfig) Validate() error {
+	switch {
+	case c.DataBlocks == 0:
+		return fmt.Errorf("pathoram: DataBlocks must be positive")
+	case c.DataBlockBytes < 1:
+		return fmt.Errorf("pathoram: DataBlockBytes must be positive")
+	case c.PosMapBlockBytes < LabelBytes:
+		return fmt.Errorf("pathoram: PosMapBlockBytes must hold at least one label")
+	case c.Z < 1:
+		return fmt.Errorf("pathoram: Z must be positive")
+	case c.Recursion < 0 || c.Recursion > 8:
+		return fmt.Errorf("pathoram: Recursion must be in [0,8], got %d", c.Recursion)
+	}
+	return nil
+}
+
+// LabelsPerBlock is the position-map fan-out.
+func (c RecursiveConfig) LabelsPerBlock() uint64 {
+	return uint64(c.PosMapBlockBytes / LabelBytes)
+}
+
+// Geometries returns the tree shapes of the full stack: index 0 is the data
+// ORAM, followed by position-map ORAMs from largest to smallest.
+func (c RecursiveConfig) Geometries() []Geometry {
+	out := []Geometry{GeometryForBlocks(c.DataBlocks, c.Z, c.DataBlockBytes)}
+	blocks := c.DataBlocks
+	fan := c.LabelsPerBlock()
+	for i := 0; i < c.Recursion; i++ {
+		blocks = (blocks + fan - 1) / fan
+		out = append(out, GeometryForBlocks(blocks, c.Z, c.PosMapBlockBytes))
+	}
+	return out
+}
+
+// OnChipPosMapEntries is the size of the final position map kept in on-chip
+// SRAM after recursion.
+func (c RecursiveConfig) OnChipPosMapEntries() uint64 {
+	blocks := c.DataBlocks
+	fan := c.LabelsPerBlock()
+	for i := 0; i < c.Recursion; i++ {
+		blocks = (blocks + fan - 1) / fan
+	}
+	return blocks
+}
+
+// AccessBytes returns the total bytes moved per access in one direction
+// (sum of all path reads) and round trip.
+func (c RecursiveConfig) AccessBytes() (oneWay, roundTrip int) {
+	for _, g := range c.Geometries() {
+		oneWay += g.PathBytes()
+	}
+	return oneWay, 2 * oneWay
+}
+
+// Recursive is a functional recursive Path ORAM: the data ORAM's position
+// map is stored in a smaller ORAM, and so on, with the final map on-chip.
+// An access touches every level (smallest position map first), exactly the
+// traffic pattern the timing model costs.
+type Recursive struct {
+	cfg    RecursiveConfig
+	orams  []*ORAM // orams[0] = data, orams[1..] = position maps, largest first
+	onChip map[uint64]uint32
+	rng    *rand.Rand
+
+	Accesses      uint64
+	DummyAccesses uint64
+}
+
+// NewRecursive builds and initializes the full stack.
+func NewRecursive(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand) (*Recursive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	geoms := cfg.Geometries()
+	orams := make([]*ORAM, len(geoms))
+	for i, g := range geoms {
+		o, err := NewORAM(g, key, rng)
+		if err != nil {
+			return nil, err
+		}
+		orams[i] = o
+	}
+	return &Recursive{
+		cfg:    cfg,
+		orams:  orams,
+		onChip: make(map[uint64]uint32),
+		rng:    rng,
+	}, nil
+}
+
+// Config returns the stack configuration.
+func (r *Recursive) Config() RecursiveConfig { return r.cfg }
+
+// DataORAM exposes the data-level ORAM (test hook).
+func (r *Recursive) DataORAM() *ORAM { return r.orams[0] }
+
+// posMapLevel reads-and-remaps the label for (level, index) where level 0 is
+// the data ORAM's position map (stored in orams[1]) and the deepest level is
+// on-chip. It returns the current leaf for the requested entry, assigning a
+// fresh random one if unassigned, and writes back the new label newLabel.
+func (r *Recursive) lookupAndRemap(level int, index uint64, newLabel uint32) (uint32, error) {
+	fan := r.cfg.LabelsPerBlock()
+	if level == r.cfg.Recursion {
+		// On-chip map: direct read-modify-write, no external access.
+		cur, ok := r.onChip[index]
+		if !ok {
+			cur = unassignedLabel
+		}
+		r.onChip[index] = newLabel
+		return cur, nil
+	}
+
+	oram := r.orams[level+1] // position-map ORAM holding this level's labels
+	blockIdx := index / fan
+	slot := index % fan
+
+	// Recursively obtain (and remap) the posmap block's own leaf.
+	blockNewLeaf := uint32(r.rng.Int63n(int64(oram.Geometry().Leaves())))
+	blockCurLeaf, err := r.lookupAndRemap(level+1, blockIdx, blockNewLeaf)
+	if err != nil {
+		return 0, err
+	}
+
+	// Access the posmap block in its ORAM at the leaf we just learned,
+	// updating the slot to newLabel while the block sits in the stash so
+	// the externally assigned leaves stay authoritative.
+	var cur uint32
+	err = oram.accessAt(blockIdx, blockCurLeaf, uint64(blockNewLeaf), func(data []byte) {
+		cur = binary.LittleEndian.Uint32(data[slot*LabelBytes:])
+		binary.LittleEndian.PutUint32(data[slot*LabelBytes:], newLabel)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return cur, nil
+}
+
+// accessAt is the recursion-aware variant of Access: the caller supplies the
+// block's current leaf (curLeaf, or unassignedLabel for first touch) and its
+// next leaf, and a mutate callback applied while the block is in the stash
+// — before the path write-back, so the mutation and the remap land
+// atomically.
+func (o *ORAM) accessAt(addr uint64, curLeaf uint32, newLeaf uint64, mutate func(data []byte)) error {
+	leaf := uint64(curLeaf)
+	if curLeaf == unassignedLabel {
+		leaf = o.randomLeaf()
+	}
+	if leaf >= o.geom.Leaves() {
+		return fmt.Errorf("pathoram: leaf %d out of range", leaf)
+	}
+	o.posmap[addr] = newLeaf
+	if err := o.readPath(leaf); err != nil {
+		return err
+	}
+	blk := o.stash.Get(addr)
+	if blk == nil {
+		o.stash.Put(Block{Addr: addr, Leaf: newLeaf, Data: make([]byte, o.geom.BlockBytes)})
+		blk = o.stash.Get(addr)
+	}
+	blk.Leaf = newLeaf
+	if mutate != nil {
+		mutate(blk.Data)
+	}
+	if err := o.writePath(leaf); err != nil {
+		return err
+	}
+	o.Accesses++
+	return nil
+}
+
+// Access performs one recursive ORAM access for the given data block.
+func (r *Recursive) Access(op Op, addr uint64, data []byte) ([]byte, error) {
+	if addr >= r.cfg.DataBlocks {
+		return nil, fmt.Errorf("pathoram: data block %d out of range (%d blocks)", addr, r.cfg.DataBlocks)
+	}
+	if op == OpWrite && len(data) != r.cfg.DataBlockBytes {
+		return nil, fmt.Errorf("pathoram: write payload is %d bytes, want %d", len(data), r.cfg.DataBlockBytes)
+	}
+	dataORAM := r.orams[0]
+	newLeaf := uint32(r.rng.Int63n(int64(dataORAM.Geometry().Leaves())))
+	curLeaf, err := r.lookupAndRemap(0, addr, newLeaf)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	err = dataORAM.accessAt(addr, curLeaf, uint64(newLeaf), func(buf []byte) {
+		switch op {
+		case OpWrite:
+			copy(buf, data)
+		case OpRead:
+			out = make([]byte, len(buf))
+			copy(out, buf)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Accesses++
+	return out, nil
+}
+
+// DummyAccess performs an indistinguishable dummy access through the whole
+// stack: every level reads and rewrites a random path.
+func (r *Recursive) DummyAccess() error {
+	for i := len(r.orams) - 1; i >= 0; i-- {
+		if err := r.orams[i].DummyAccess(); err != nil {
+			return err
+		}
+	}
+	r.DummyAccesses++
+	return nil
+}

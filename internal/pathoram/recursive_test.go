@@ -1,0 +1,204 @@
+package pathoram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"tcoram/internal/crypt"
+	"tcoram/internal/dram"
+)
+
+func smallRecursiveConfig() RecursiveConfig {
+	return RecursiveConfig{
+		DataBlocks:       256,
+		DataBlockBytes:   64,
+		PosMapBlockBytes: 32,
+		Z:                3,
+		Recursion:        2,
+	}
+}
+
+func newTestRecursive(t *testing.T, cfg RecursiveConfig, seed int64) *Recursive {
+	t.Helper()
+	r, err := NewRecursive(cfg, testKey(byte(seed)), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRecursiveConfigValidate(t *testing.T) {
+	good := smallRecursiveConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*RecursiveConfig){
+		func(c *RecursiveConfig) { c.DataBlocks = 0 },
+		func(c *RecursiveConfig) { c.DataBlockBytes = 0 },
+		func(c *RecursiveConfig) { c.PosMapBlockBytes = 2 },
+		func(c *RecursiveConfig) { c.Z = 0 },
+		func(c *RecursiveConfig) { c.Recursion = -1 },
+		func(c *RecursiveConfig) { c.Recursion = 9 },
+	}
+	for i, mutate := range bad {
+		c := smallRecursiveConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+}
+
+func TestRecursionShrinksPosMaps(t *testing.T) {
+	cfg := PaperConfig()
+	geoms := cfg.Geometries()
+	if len(geoms) != 1+cfg.Recursion {
+		t.Fatalf("got %d geometries, want %d", len(geoms), 1+cfg.Recursion)
+	}
+	for i := 1; i < len(geoms); i++ {
+		if geoms[i].Levels >= geoms[i-1].Levels {
+			t.Fatalf("posmap level %d (%d tree levels) not smaller than level %d (%d)",
+				i, geoms[i].Levels, i-1, geoms[i-1].Levels)
+		}
+	}
+	// Final on-chip map must be small (the paper keeps the controller
+	// under 200 KB of on-chip storage).
+	entries := cfg.OnChipPosMapEntries()
+	if entries*LabelBytes > 200<<10 {
+		t.Fatalf("on-chip position map is %d bytes; want < 200 KB", entries*LabelBytes)
+	}
+}
+
+func TestRecursiveReadYourWrites(t *testing.T) {
+	r := newTestRecursive(t, smallRecursiveConfig(), 20)
+	data := bytes.Repeat([]byte{0x3C}, 64)
+	if _, err := r.Access(OpWrite, 100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Access(OpRead, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %x, want %x", got[:4], data[:4])
+	}
+}
+
+func TestRecursiveFunctionalModel(t *testing.T) {
+	r := newTestRecursive(t, smallRecursiveConfig(), 21)
+	rng := rand.New(rand.NewSource(22))
+	model := make(map[uint64][]byte)
+	for i := 0; i < 500; i++ {
+		addr := uint64(rng.Int63n(int64(r.Config().DataBlocks)))
+		if rng.Intn(2) == 0 {
+			data := make([]byte, 64)
+			rng.Read(data)
+			if _, err := r.Access(OpWrite, addr, data); err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			model[addr] = data
+		} else {
+			got, err := r.Access(OpRead, addr, nil)
+			if err != nil {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			want, ok := model[addr]
+			if !ok {
+				want = make([]byte, 64)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: block %d read %x..., want %x...", i, addr, got[:4], want[:4])
+			}
+		}
+	}
+}
+
+func TestRecursiveRejectsOutOfRange(t *testing.T) {
+	r := newTestRecursive(t, smallRecursiveConfig(), 23)
+	if _, err := r.Access(OpRead, r.Config().DataBlocks, nil); err == nil {
+		t.Fatal("Access accepted out-of-range block")
+	}
+	if _, err := r.Access(OpWrite, 0, make([]byte, 7)); err == nil {
+		t.Fatal("Access accepted short write")
+	}
+}
+
+func TestRecursiveDummyTouchesAllLevels(t *testing.T) {
+	r := newTestRecursive(t, smallRecursiveConfig(), 24)
+	before := make([]uint64, len(r.orams))
+	for i, o := range r.orams {
+		before[i] = o.DummyAccesses
+	}
+	if err := r.DummyAccess(); err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range r.orams {
+		if o.DummyAccesses != before[i]+1 {
+			t.Fatalf("level %d: dummy accesses %d, want %d", i, o.DummyAccesses, before[i]+1)
+		}
+	}
+	if r.DummyAccesses != 1 {
+		t.Fatalf("stack DummyAccesses = %d, want 1", r.DummyAccesses)
+	}
+}
+
+func TestPaperConfigMatchesReportedMovement(t *testing.T) {
+	// §9.1.2: each access transfers ≈24.2 KB (12.1 KB per direction).
+	cfg := PaperConfig()
+	oneWay, roundTrip := cfg.AccessBytes()
+	if roundTrip != 2*oneWay {
+		t.Fatalf("roundTrip %d != 2×oneWay %d", roundTrip, oneWay)
+	}
+	lo, hi := PaperAccessBytes*9/10, PaperAccessBytes*11/10
+	if roundTrip < lo || roundTrip > hi {
+		t.Fatalf("round-trip bytes = %d, want within 10%% of paper's %d", roundTrip, PaperAccessBytes)
+	}
+}
+
+func TestEstimateAccessLatencyNearPaper(t *testing.T) {
+	// Our native DRAM model should land near the paper's DRAMSim2-derived
+	// 1488 cycles; the experiments pin the scalar to PaperAccessLatency
+	// for point-comparability (see DESIGN.md substitution #3).
+	est := EstimateAccessLatency(PaperConfig(), dram.Default(), crypt.DefaultLatency())
+	if est.CPUCycles < PaperAccessLatency*80/100 || est.CPUCycles > PaperAccessLatency*120/100 {
+		t.Fatalf("estimated access latency %d cycles; want within 20%% of %d", est.CPUCycles, PaperAccessLatency)
+	}
+	if est.BytesMoved < PaperAccessBytes*9/10 || est.BytesMoved > PaperAccessBytes*11/10 {
+		t.Fatalf("estimated bytes moved %d; want within 10%% of %d", est.BytesMoved, PaperAccessBytes)
+	}
+	if est.Bursts <= 0 || est.DRAMCycles <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	a := EstimateAccessLatency(PaperConfig(), dram.Default(), crypt.DefaultLatency())
+	b := EstimateAccessLatency(PaperConfig(), dram.Default(), crypt.DefaultLatency())
+	if a != b {
+		t.Fatalf("latency estimate not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestTreeAddressMapLayoutDisjoint(t *testing.T) {
+	cfg := smallRecursiveConfig()
+	m := NewTreeAddressMap(cfg)
+	geoms := cfg.Geometries()
+	for i := 1; i < len(geoms); i++ {
+		endPrev := m.BucketAddr(i-1, geoms[i-1].Buckets()-1) + int64(geoms[i-1].BucketCipherBytes())
+		if m.BucketAddr(i, 0) < endPrev {
+			t.Fatalf("tree %d overlaps tree %d", i, i-1)
+		}
+	}
+	if m.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes not positive")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("Op.String() mismatch")
+	}
+}
+
+var _ = crypt.KeySize // keep import if test set shrinks

@@ -1,0 +1,69 @@
+package pathoram
+
+// Stash is the on-chip block buffer of the Path ORAM controller. Blocks read
+// off a path live here until the write-back phase pushes them as deep as
+// their leaf assignment allows. The paper's controller budgets the stash as
+// a 128 KB SRAM (§9.1.4); MaxOccupancy lets tests check that functional
+// workloads stay far below any such bound.
+type Stash struct {
+	blocks map[uint64]*Block
+	peak   int
+}
+
+// NewStash returns an empty stash.
+func NewStash() *Stash {
+	return &Stash{blocks: make(map[uint64]*Block)}
+}
+
+// Len returns the current number of real blocks held.
+func (s *Stash) Len() int { return len(s.blocks) }
+
+// MaxOccupancy returns the largest size the stash ever reached, including
+// transient occupancy during accesses.
+func (s *Stash) MaxOccupancy() int { return s.peak }
+
+// Put inserts or replaces a block. Dummy blocks are ignored.
+func (s *Stash) Put(b Block) {
+	if b.IsDummy() {
+		return
+	}
+	blk := b
+	s.blocks[b.Addr] = &blk
+	if len(s.blocks) > s.peak {
+		s.peak = len(s.blocks)
+	}
+}
+
+// Get returns the block with the given address, or nil.
+func (s *Stash) Get(addr uint64) *Block { return s.blocks[addr] }
+
+// Remove deletes the block with the given address if present.
+func (s *Stash) Remove(addr uint64) { delete(s.blocks, addr) }
+
+// EvictForBucket selects up to z blocks that may legally live in the bucket
+// at the given level on the path to pathLeaf (their own leaf must share that
+// ancestor), removes them from the stash, and returns them. Greedy deepest-
+// first eviction is achieved by calling this from the leaf level upward.
+func (s *Stash) EvictForBucket(g Geometry, pathLeaf uint64, level, z int) []Block {
+	var out []Block
+	for addr, blk := range s.blocks {
+		if len(out) == z {
+			break
+		}
+		if g.OnPath(pathLeaf, blk.Leaf, level) {
+			out = append(out, *blk)
+			delete(s.blocks, addr)
+		}
+	}
+	return out
+}
+
+// Addrs returns the addresses currently in the stash (test helper; order is
+// unspecified).
+func (s *Stash) Addrs() []uint64 {
+	out := make([]uint64, 0, len(s.blocks))
+	for a := range s.blocks {
+		out = append(out, a)
+	}
+	return out
+}

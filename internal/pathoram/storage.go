@@ -1,0 +1,67 @@
+package pathoram
+
+import (
+	"fmt"
+)
+
+// Storage is the untrusted external memory holding encrypted buckets. The
+// secure processor only ever reads and writes whole buckets; the adversary,
+// by contrast, may inspect the raw bytes (see Snapshot), which is exactly
+// the capability the root-bucket probing attack of §3.2 assumes.
+type Storage interface {
+	// ReadBucket returns the stored ciphertext of bucket idx. The returned
+	// slice aliases internal storage and must not be modified.
+	ReadBucket(idx uint64) []byte
+	// WriteBucket replaces the ciphertext of bucket idx.
+	WriteBucket(idx uint64, ciphertext []byte)
+}
+
+// ByteStorage is a Storage backed by one contiguous byte slice, mimicking
+// the fixed DRAM layout the paper relies on ("all buckets are stored at
+// fixed locations", §3.2).
+type ByteStorage struct {
+	geom       Geometry
+	bucketSize int
+	buf        []byte
+}
+
+// NewByteStorage allocates zeroed storage for all buckets of g.
+// Note: a zeroed bucket is not a valid ciphertext of an all-dummy bucket;
+// ORAM initialization writes every bucket before use.
+func NewByteStorage(g Geometry) *ByteStorage {
+	bs := g.BucketCipherBytes()
+	total := g.Buckets() * uint64(bs)
+	if total > 1<<31 {
+		panic(fmt.Sprintf("pathoram: refusing to allocate %d bytes of functional storage; use the timing model for large geometries", total))
+	}
+	return &ByteStorage{geom: g, bucketSize: bs, buf: make([]byte, total)}
+}
+
+// BucketOffset returns the byte offset of bucket idx within the underlying
+// buffer; the adversary uses offset 0 (the root) for probing.
+func (s *ByteStorage) BucketOffset(idx uint64) int { return int(idx) * s.bucketSize }
+
+// ReadBucket implements Storage.
+func (s *ByteStorage) ReadBucket(idx uint64) []byte {
+	off := s.BucketOffset(idx)
+	return s.buf[off : off+s.bucketSize]
+}
+
+// WriteBucket implements Storage.
+func (s *ByteStorage) WriteBucket(idx uint64, ciphertext []byte) {
+	if len(ciphertext) != s.bucketSize {
+		panic(fmt.Sprintf("pathoram: bucket ciphertext is %d bytes, want %d", len(ciphertext), s.bucketSize))
+	}
+	off := s.BucketOffset(idx)
+	copy(s.buf[off:], ciphertext)
+}
+
+// Snapshot copies the raw bytes of bucket idx — the adversary's view.
+func (s *ByteStorage) Snapshot(idx uint64) []byte {
+	out := make([]byte, s.bucketSize)
+	copy(out, s.ReadBucket(idx))
+	return out
+}
+
+// Bytes exposes the whole untrusted memory image (adversary's view).
+func (s *ByteStorage) Bytes() []byte { return s.buf }

@@ -1,0 +1,199 @@
+// Package power implements the paper's processor energy model (Table 2,
+// §9.1.3–9.1.4): per-event dynamic energy coefficients from the pipeline
+// out to the on-chip DRAM/ORAM controller, L1/L2 parasitic leakage, and the
+// derived 984 nJ energy of one full Path ORAM access. External DRAM device
+// power is not modeled, matching the paper.
+//
+// Power in Watts falls out naturally: with a 1 GHz clock, one cycle is one
+// nanosecond, so total nanojoules divided by total cycles is Watts.
+package power
+
+import (
+	"tcoram/internal/cache"
+	"tcoram/internal/core"
+	"tcoram/internal/cpu"
+	"tcoram/internal/trace"
+)
+
+// Coefficients holds Table 2's energy numbers in nanojoules per event
+// (leakage entries are per cycle).
+type Coefficients struct {
+	// Dynamic energy (nJ/event).
+	ALUPerInstr  float64 // ALU/FPU per instruction
+	RegFileInt   float64 // integer register file per instruction
+	RegFileFP    float64 // FP register file per instruction
+	FetchBuffer  float64 // 256-bit fetch buffer read
+	L1IHit       float64 // L1I hit or refill (one line)
+	L1DHit       float64 // L1D hit (64 bits)
+	L1DRefill    float64 // L1D refill (one line)
+	L2HitRefill  float64 // L2 hit or refill (one line)
+	DRAMCtrlLine float64 // DRAM controller, one cache line
+	// Parasitic leakage (nJ/cycle except L2, which is per hit/refill).
+	L1ILeakPerCycle float64
+	L1DLeakPerCycle float64
+	L2LeakPerEvent  float64
+	// ORAM controller (nJ per 16-byte chunk).
+	AESPerChunk   float64
+	StashPerChunk float64
+	// DRAM controller energy per DRAM cycle while an ORAM access is in
+	// flight (derived from [3]'s peak power, §9.1.3).
+	DRAMCtrlPerCycle float64
+}
+
+// Table2 returns the paper's coefficients (45 nm).
+func Table2() Coefficients {
+	return Coefficients{
+		ALUPerInstr:      0.0148,
+		RegFileInt:       0.0032,
+		RegFileFP:        0.0048,
+		FetchBuffer:      0.0003,
+		L1IHit:           0.162,
+		L1DHit:           0.041,
+		L1DRefill:        0.320,
+		L2HitRefill:      0.810,
+		DRAMCtrlLine:     0.303,
+		L1ILeakPerCycle:  0.018,
+		L1DLeakPerCycle:  0.019,
+		L2LeakPerEvent:   0.767,
+		AESPerChunk:      0.416,
+		StashPerChunk:    0.134,
+		DRAMCtrlPerCycle: 0.076,
+	}
+}
+
+// ORAMAccessParams describes one ORAM access for energy purposes.
+type ORAMAccessParams struct {
+	// Chunks is the number of 16-byte chunks moved per direction; the
+	// paper's configuration moves 758 chunks each way (§9.1.4).
+	Chunks int
+	// DRAMCycles is the DRAM-clock duration of the access (1984 in the
+	// paper: 1488 processor cycles × 4/3).
+	DRAMCycles int
+}
+
+// PaperORAMAccess returns §9.1.4's parameters: 2×758 chunks, 1984 DRAM
+// cycles.
+func PaperORAMAccess() ORAMAccessParams {
+	return ORAMAccessParams{Chunks: 758, DRAMCycles: 1984}
+}
+
+// ORAMAccessEnergy computes the energy of one ORAM access (real or dummy —
+// they move identical traffic):
+//
+//	chunkCount × (AES + stash) per direction pair + cycles × controller
+//
+// With Table 2 and the paper parameters this is ≈ 984 nJ.
+func (c Coefficients) ORAMAccessEnergy(p ORAMAccessParams) float64 {
+	return 2*float64(p.Chunks)*(c.AESPerChunk+c.StashPerChunk) +
+		float64(p.DRAMCycles)*c.DRAMCtrlPerCycle
+}
+
+// Breakdown splits total energy into the paper's Fig 6 reporting buckets:
+// the white-dashed "non-main-memory" portion and the memory-controller
+// (DRAM/ORAM) portion.
+type Breakdown struct {
+	CoreNJ   float64 // pipeline, register files, fetch, L1s, L2, leakage
+	MemoryNJ float64 // DRAM controller and/or ORAM controller
+	Cycles   uint64
+}
+
+// TotalNJ is the total energy.
+func (b Breakdown) TotalNJ() float64 { return b.CoreNJ + b.MemoryNJ }
+
+// Watts is average power (1 GHz clock: nJ/cycle = W).
+func (b Breakdown) Watts() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return b.TotalNJ() / float64(b.Cycles)
+}
+
+// CoreWatts is the non-main-memory power (white-dashed bars of Fig 6).
+func (b Breakdown) CoreWatts() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return b.CoreNJ / float64(b.Cycles)
+}
+
+// MemoryWatts is the memory-controller power (colored bars of Fig 6).
+func (b Breakdown) MemoryWatts() float64 {
+	if b.Cycles == 0 {
+		return 0
+	}
+	return b.MemoryNJ / float64(b.Cycles)
+}
+
+// Model evaluates energy for a finished simulation.
+type Model struct {
+	Coeff Coefficients
+	ORAM  ORAMAccessParams
+}
+
+// NewModel returns the paper's model.
+func NewModel() Model {
+	return Model{Coeff: Table2(), ORAM: PaperORAMAccess()}
+}
+
+// CoreEnergy computes the non-main-memory energy of a run from the core and
+// cache statistics.
+func (m Model) CoreEnergy(cs cpu.Stats, hs cache.Stats) float64 {
+	c := m.Coeff
+	var nj float64
+	// Pipeline and register files, per instruction class.
+	for k := trace.Kind(0); k < trace.NumKinds; k++ {
+		n := float64(cs.ByKind[k])
+		nj += n * c.ALUPerInstr
+		switch k {
+		case trace.FPALU, trace.FPMult, trace.FPDiv:
+			nj += n * c.RegFileFP
+		default:
+			nj += n * c.RegFileInt
+		}
+	}
+	// Fetch buffer: one 256-bit read per fetched line group.
+	nj += float64(cs.FetchLines) * c.FetchBuffer
+	// L1I: hits and refills cost one line access each.
+	nj += float64(cs.FetchLines) * c.L1IHit // hit path on each line fetch
+	nj += float64(hs.L1IMisses) * c.L1IHit  // refill
+	// L1D: hits at word granularity, refills per line.
+	nj += float64(hs.L1DHits) * c.L1DHit
+	nj += float64(hs.L1DMisses) * c.L1DRefill
+	// L2: hits and refills (refill count ≈ misses reaching L2).
+	nj += float64(hs.L2Hits+hs.L2Misses) * c.L2HitRefill
+	nj += float64(hs.L2Hits+hs.L2Misses) * c.L2LeakPerEvent
+	// L1 parasitic leakage accrues every cycle.
+	nj += float64(cs.Cycles) * (c.L1ILeakPerCycle + c.L1DLeakPerCycle)
+	return nj
+}
+
+// DRAMEnergy is the base_dram memory-side energy: one line-transfer worth
+// of controller energy per fetch or writeback.
+func (m Model) DRAMEnergy(lineTransfers uint64) float64 {
+	return float64(lineTransfers) * m.Coeff.DRAMCtrlLine
+}
+
+// ORAMEnergy is the ORAM memory-side energy: every access — real or
+// dummy — costs the full path energy.
+func (m Model) ORAMEnergy(totalAccesses uint64) float64 {
+	return float64(totalAccesses) * m.Coeff.ORAMAccessEnergy(m.ORAM)
+}
+
+// EvaluateDRAM builds the breakdown for a base_dram run.
+func (m Model) EvaluateDRAM(cs cpu.Stats, hs cache.Stats, mem *core.FlatMemory) Breakdown {
+	return Breakdown{
+		CoreNJ:   m.CoreEnergy(cs, hs),
+		MemoryNJ: m.DRAMEnergy(mem.LineTransfers()),
+		Cycles:   cs.Cycles,
+	}
+}
+
+// EvaluateORAM builds the breakdown for any ORAM-based run (shielded or
+// not) given the controller's access stats.
+func (m Model) EvaluateORAM(cs cpu.Stats, hs cache.Stats, st core.Stats) Breakdown {
+	return Breakdown{
+		CoreNJ:   m.CoreEnergy(cs, hs),
+		MemoryNJ: m.ORAMEnergy(st.TotalAccesses()),
+		Cycles:   cs.Cycles,
+	}
+}

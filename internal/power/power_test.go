@@ -1,0 +1,133 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"tcoram/internal/cache"
+	"tcoram/internal/core"
+	"tcoram/internal/cpu"
+	"tcoram/internal/trace"
+)
+
+func TestORAMAccessEnergyMatchesPaper(t *testing.T) {
+	// §9.1.4: energy-per-access = 2·758·(.416+.134) + 1984·.076 ≈ 984 nJ.
+	got := Table2().ORAMAccessEnergy(PaperORAMAccess())
+	if math.Abs(got-984) > 1.0 {
+		t.Fatalf("ORAM access energy = %.2f nJ, want ≈984", got)
+	}
+}
+
+func TestORAMAccessEnergyComponents(t *testing.T) {
+	c := Table2()
+	// Exact arithmetic from the paper's formula.
+	want := 2*758*(0.416+0.134) + 1984*0.076
+	if got := c.ORAMAccessEnergy(PaperORAMAccess()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestWattsConversion(t *testing.T) {
+	// 1 GHz: nJ/cycle = W. 500 nJ over 1000 cycles = 0.5 W.
+	b := Breakdown{CoreNJ: 200, MemoryNJ: 300, Cycles: 1000}
+	if got := b.Watts(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Watts = %v, want 0.5", got)
+	}
+	if got := b.CoreWatts(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("CoreWatts = %v, want 0.2", got)
+	}
+	if got := b.MemoryWatts(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MemoryWatts = %v, want 0.3", got)
+	}
+	if (Breakdown{}).Watts() != 0 {
+		t.Fatal("zero-cycle breakdown should be 0 W")
+	}
+}
+
+func TestCoreEnergyScalesWithActivity(t *testing.T) {
+	m := NewModel()
+	var cs cpu.Stats
+	cs.Cycles = 1000
+	cs.ByKind[trace.IntALU] = 500
+	var hs cache.Stats
+	hs.L1DHits = 100
+	base := m.CoreEnergy(cs, hs)
+	if base <= 0 {
+		t.Fatal("core energy should be positive")
+	}
+	cs2 := cs
+	cs2.ByKind[trace.IntALU] = 1000
+	if m.CoreEnergy(cs2, hs) <= base {
+		t.Fatal("more instructions must cost more energy")
+	}
+	hs2 := hs
+	hs2.L2Misses = 50
+	if m.CoreEnergy(cs, hs2) <= base {
+		t.Fatal("more cache activity must cost more energy")
+	}
+}
+
+func TestFPUsesFPRegFile(t *testing.T) {
+	m := NewModel()
+	var intStats, fpStats cpu.Stats
+	intStats.ByKind[trace.IntALU] = 1000
+	fpStats.ByKind[trace.FPALU] = 1000
+	intE := m.CoreEnergy(intStats, cache.Stats{})
+	fpE := m.CoreEnergy(fpStats, cache.Stats{})
+	if fpE <= intE {
+		t.Fatalf("FP energy (%v) should exceed int energy (%v): bigger regfile coefficient", fpE, intE)
+	}
+}
+
+func TestDRAMEnergyPerLine(t *testing.T) {
+	m := NewModel()
+	if got := m.DRAMEnergy(10); math.Abs(got-3.03) > 1e-9 {
+		t.Fatalf("DRAMEnergy(10) = %v, want 3.03", got)
+	}
+}
+
+func TestORAMEnergyCountsDummies(t *testing.T) {
+	// Dummy accesses burn the same energy as real ones — the entire
+	// power cost of overly fast static rates (§9.3).
+	m := NewModel()
+	st := core.Stats{RealAccesses: 10, DummyAccesses: 30}
+	perAccess := m.Coeff.ORAMAccessEnergy(m.ORAM)
+	if got := m.ORAMEnergy(st.TotalAccesses()); math.Abs(got-40*perAccess) > 1e-6 {
+		t.Fatalf("ORAMEnergy = %v, want %v", got, 40*perAccess)
+	}
+}
+
+func TestEvaluateDRAMAndORAM(t *testing.T) {
+	m := NewModel()
+	var cs cpu.Stats
+	cs.Cycles = 10000
+	cs.ByKind[trace.IntALU] = 5000
+	var hs cache.Stats
+	flat := core.NewFlatMemory(40)
+	flat.Fetch(0, 1)
+	flat.Writeback(0, 2)
+	bd := m.EvaluateDRAM(cs, hs, flat)
+	if bd.MemoryNJ <= 0 || bd.CoreNJ <= 0 {
+		t.Fatalf("degenerate DRAM breakdown: %+v", bd)
+	}
+	bo := m.EvaluateORAM(cs, hs, core.Stats{RealAccesses: 2})
+	if bo.MemoryNJ <= bd.MemoryNJ {
+		t.Fatal("two ORAM accesses must dwarf two DRAM line transfers")
+	}
+}
+
+func TestORAMPowerAtPaperRates(t *testing.T) {
+	// Sanity against Fig 6's scale: accessing ORAM back to back
+	// (one 984 nJ access every ~1488+256 cycles) gives memory power
+	// ≈ 0.5–0.6 W, matching the tallest Fig 6 bars.
+	m := NewModel()
+	period := uint64(1488 + 256)
+	accesses := uint64(1000)
+	bd := Breakdown{
+		MemoryNJ: m.ORAMEnergy(accesses),
+		Cycles:   accesses * period,
+	}
+	if w := bd.MemoryWatts(); w < 0.4 || w > 0.7 {
+		t.Fatalf("back-to-back ORAM power = %.3f W, want ~0.55", w)
+	}
+}

@@ -1,0 +1,243 @@
+// Package protocol implements the user–server interaction of §5 and the
+// replay-attack prevention of §8: session-key negotiation through the
+// processor's device key, HMAC binding of the program and leakage
+// parameters to the user's data (§10), run-once enforcement by forgetting
+// the session key, and leakage-budget admission control.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"tcoram/internal/core"
+	"tcoram/internal/crypt"
+	"tcoram/internal/leakage"
+)
+
+// ErrSessionClosed is returned when the server tries to reuse a session
+// whose key the processor has forgotten (§8's run-once property).
+var ErrSessionClosed = errors.New("protocol: session closed (key forgotten)")
+
+// ErrBudgetExceeded is returned when the server's proposed leakage
+// parameters would exceed the user's leakage limit L (§10).
+var ErrBudgetExceeded = errors.New("protocol: leakage parameters exceed the user's limit")
+
+// ErrBadBinding is returned when the HMAC binding of program/parameters to
+// the user data fails verification.
+var ErrBadBinding = errors.New("protocol: HMAC binding verification failed")
+
+// LeakageParams are the public parameters the server forwards to the
+// processor in step 2 of §5: the rate set R and epoch schedule E, plus Tmax
+// for accounting.
+type LeakageParams struct {
+	NumRates    int
+	EpochGrowth uint64
+	Tmax        uint64
+}
+
+// Bits computes the ORAM timing-channel bound these parameters admit.
+func (p LeakageParams) Bits() leakage.Bits {
+	return leakage.PaperBudget(p.NumRates, p.EpochGrowth).ORAMBits()
+}
+
+// Processor is the secure processor's protocol endpoint. It owns the
+// device key pair; each session's symmetric key K lives in a dedicated
+// register that is zeroed when the session ends.
+type Processor struct {
+	device *crypt.DeviceKeyPair
+	rnd    io.Reader
+
+	// Session state.
+	session *crypt.Cipher
+	limit   leakage.Bits // user's leakage limit L for this session
+	haveL   bool
+}
+
+// NewProcessor manufactures a processor with a fresh device key pair.
+// keyBits ≥ 1024; tests use small keys for speed.
+func NewProcessor(rnd io.Reader, keyBits int) (*Processor, error) {
+	dev, err := crypt.GenerateDeviceKeyPair(rnd, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	return &Processor{device: dev, rnd: rnd}, nil
+}
+
+// DevicePublicKey is shipped with the processor's certificate; users wrap
+// their key-transport secret to it.
+func (p *Processor) DevicePublicKey() interface{} { return p.device.Public() }
+
+// User is the remote user's protocol endpoint.
+type User struct {
+	rnd io.Reader
+	k   crypt.Key // session key after Handshake
+	c   *crypt.Cipher
+}
+
+// NewUser creates a user endpoint drawing randomness from rnd.
+func NewUser(rnd io.Reader) *User { return &User{rnd: rnd} }
+
+// Handshake performs the expanded §8 key exchange:
+//
+//  1. the user samples K′, wraps it to the processor's public key;
+//  2. the processor unwraps K′, samples the real session key K, and
+//     returns encrypt_K′(K);
+//  3. both sides now share K; the processor holds K in its session
+//     register only.
+func Handshake(u *User, p *Processor) error {
+	kPrime, err := crypt.NewKey(u.rnd)
+	if err != nil {
+		return err
+	}
+	wrapped, err := crypt.WrapKey(u.rnd, p.device.Public(), kPrime)
+	if err != nil {
+		return err
+	}
+
+	// Processor side.
+	gotKPrime, err := p.device.UnwrapKey(wrapped)
+	if err != nil {
+		return err
+	}
+	k, err := crypt.NewKey(p.rnd)
+	if err != nil {
+		return err
+	}
+	tmp := crypt.NewCipher(gotKPrime, p.rnd)
+	kCt, err := tmp.Encrypt(k[:])
+	if err != nil {
+		return err
+	}
+	p.session = crypt.NewCipher(k, p.rnd)
+	p.haveL = false
+
+	// User side.
+	uTmp := crypt.NewCipher(kPrime, u.rnd)
+	kPlain, err := uTmp.Decrypt(kCt)
+	if err != nil {
+		return err
+	}
+	copy(u.k[:], kPlain)
+	u.c = crypt.NewCipher(u.k, u.rnd)
+	return nil
+}
+
+// Job is what the user submits: encrypted data, a certified program hash,
+// the leakage limit L, and an HMAC binding them together (§10). Binding the
+// program hash restricts the processor to run only that program on the
+// data, mitigating the "adversary picks which L bits leak" subtlety.
+type Job struct {
+	EncryptedData []byte
+	ProgramHash   [32]byte
+	LimitBits     float64
+	MAC           []byte
+}
+
+// PrepareJob encrypts data and binds (program, L) to it under the session
+// key.
+func (u *User) PrepareJob(data, program []byte, limit leakage.Bits) (Job, error) {
+	if u.c == nil {
+		return Job{}, errors.New("protocol: handshake not performed")
+	}
+	ct, err := u.c.Encrypt(data)
+	if err != nil {
+		return Job{}, err
+	}
+	h := crypt.Hash(program)
+	lb := []byte(fmt.Sprintf("%.6f", float64(limit)))
+	mac, err := u.c.MAC(ct, h[:], lb)
+	if err != nil {
+		return Job{}, err
+	}
+	return Job{EncryptedData: ct, ProgramHash: h, LimitBits: float64(limit), MAC: mac}, nil
+}
+
+// Decrypt recovers a result the processor returned under the session key.
+func (u *User) Decrypt(ct []byte) ([]byte, error) {
+	if u.c == nil {
+		return nil, errors.New("protocol: handshake not performed")
+	}
+	return u.c.Decrypt(ct)
+}
+
+// Admit verifies the job binding and checks the server-chosen leakage
+// parameters against the user's limit L. The processor refuses to run
+// (returns an error) if the parameters could leak more than L bits over the
+// ORAM timing channel (§10: "the processor can decide whether to run the
+// program by computing possible leakage as in §6.1").
+func (p *Processor) Admit(job Job, program []byte, params LeakageParams) error {
+	if p.session == nil || p.session.Erased() {
+		return ErrSessionClosed
+	}
+	h := crypt.Hash(program)
+	if h != job.ProgramHash {
+		return ErrBadBinding
+	}
+	lb := []byte(fmt.Sprintf("%.6f", job.LimitBits))
+	if err := p.session.VerifyMAC(job.MAC, job.EncryptedData, h[:], lb); err != nil {
+		return ErrBadBinding
+	}
+	if float64(params.Bits()) > job.LimitBits {
+		return fmt.Errorf("%w: params admit %v > limit %.2f bits",
+			ErrBudgetExceeded, params.Bits(), job.LimitBits)
+	}
+	p.limit = leakage.Bits(job.LimitBits)
+	p.haveL = true
+	return nil
+}
+
+// Limit returns the session's admitted leakage limit.
+func (p *Processor) Limit() (leakage.Bits, bool) { return p.limit, p.haveL }
+
+// DecryptData recovers the user's plaintext inside the enclave.
+func (p *Processor) DecryptData(job Job) ([]byte, error) {
+	if p.session == nil || p.session.Erased() {
+		return nil, ErrSessionClosed
+	}
+	return p.session.Decrypt(job.EncryptedData)
+}
+
+// SealResult encrypts a program result back to the user (§5 step 4).
+func (p *Processor) SealResult(result []byte) ([]byte, error) {
+	if p.session == nil || p.session.Erased() {
+		return nil, ErrSessionClosed
+	}
+	return p.session.Encrypt(result)
+}
+
+// EndSession forgets the session key K. After this, encrypt_K(D) is
+// computationally undecryptable by anyone but the user, so the server
+// cannot replay the data under new programs or epoch parameters (§8).
+func (p *Processor) EndSession() {
+	if p.session != nil {
+		p.session.Erase()
+	}
+	p.haveL = false
+}
+
+// MaxReplayLeakage quantifies the §4.3 replay attack: a server that can
+// rerun an L-bit-bounded execution n times learns up to n·L bits. With the
+// run-once session (§8), n is forced to 1.
+func MaxReplayLeakage(perRun leakage.Bits, runs int) leakage.Bits {
+	if runs < 0 {
+		return 0
+	}
+	return perRun * leakage.Bits(runs)
+}
+
+// SchedulerConfig converts admitted leakage parameters into the enforcer
+// configuration the memory controller uses (glue between protocol and
+// core).
+func (p LeakageParams) SchedulerConfig(olat uint64, firstEpoch uint64) (core.EnforcerConfig, error) {
+	rates, err := core.LogSpacedRates(p.NumRates, core.MinRate, core.MaxRate)
+	if err != nil {
+		return core.EnforcerConfig{}, err
+	}
+	return core.EnforcerConfig{
+		ORAMLatency: olat,
+		Rates:       rates,
+		InitialRate: core.InitialRate,
+		Schedule:    core.EpochSchedule{FirstLen: firstEpoch, Growth: p.EpochGrowth},
+	}, nil
+}

@@ -1,0 +1,222 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tcoram/internal/leakage"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func (d detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+func newPair(t *testing.T, seed int64) (*User, *Processor) {
+	t.Helper()
+	rr := detRand{rand.New(rand.NewSource(seed))}
+	p, err := NewProcessor(rr, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUser(rr)
+	if err := Handshake(u, p); err != nil {
+		t.Fatal(err)
+	}
+	return u, p
+}
+
+func TestFullSessionRoundTrip(t *testing.T) {
+	u, p := newPair(t, 1)
+	program := []byte("certified program binary")
+	data := []byte("the user's secret data")
+	job, err := u.PrepareJob(data, program, leakage.Bits(94))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := LeakageParams{NumRates: 4, EpochGrowth: 4, Tmax: 1 << 62}
+	if err := p.Admit(job, program, params); err != nil {
+		t.Fatalf("Admit rejected a within-budget job: %v", err)
+	}
+	plain, err := p.DecryptData(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, data) {
+		t.Fatal("processor recovered wrong plaintext")
+	}
+	sealed, err := p.SealResult([]byte("result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.Decrypt(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("result")) {
+		t.Fatal("user recovered wrong result")
+	}
+}
+
+func TestAdmitEnforcesLeakageLimit(t *testing.T) {
+	u, p := newPair(t, 2)
+	program := []byte("prog")
+	// Limit 16 bits; R4/E4 admits 32 bits → refuse.
+	job, err := u.PrepareJob([]byte("data"), program, leakage.Bits(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Admit(job, program, LeakageParams{NumRates: 4, EpochGrowth: 4})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Admit err = %v, want ErrBudgetExceeded", err)
+	}
+	// R4/E16 admits 16 bits → accept.
+	if err := p.Admit(job, program, LeakageParams{NumRates: 4, EpochGrowth: 16}); err != nil {
+		t.Fatalf("within-budget params rejected: %v", err)
+	}
+	if l, ok := p.Limit(); !ok || float64(l) != 16 {
+		t.Fatalf("Limit() = %v, %v", l, ok)
+	}
+}
+
+func TestAdmitRejectsWrongProgram(t *testing.T) {
+	u, p := newPair(t, 3)
+	job, err := u.PrepareJob([]byte("data"), []byte("the certified program"), leakage.Bits(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Admit(job, []byte("a DIFFERENT program"), LeakageParams{NumRates: 4, EpochGrowth: 16})
+	if !errors.Is(err, ErrBadBinding) {
+		t.Fatalf("Admit err = %v, want ErrBadBinding (program substitution)", err)
+	}
+}
+
+func TestAdmitRejectsTamperedJob(t *testing.T) {
+	u, p := newPair(t, 4)
+	program := []byte("prog")
+	job, err := u.PrepareJob([]byte("data"), program, leakage.Bits(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.EncryptedData[3] ^= 1
+	err = p.Admit(job, program, LeakageParams{NumRates: 4, EpochGrowth: 16})
+	if !errors.Is(err, ErrBadBinding) {
+		t.Fatalf("Admit err = %v, want ErrBadBinding (ciphertext tampering)", err)
+	}
+	// Tampered limit field.
+	job2, _ := u.PrepareJob([]byte("data"), program, leakage.Bits(16))
+	job2.LimitBits = 1000
+	err = p.Admit(job2, program, LeakageParams{NumRates: 4, EpochGrowth: 4})
+	if !errors.Is(err, ErrBadBinding) {
+		t.Fatalf("Admit err = %v, want ErrBadBinding (limit tampering)", err)
+	}
+}
+
+func TestRunOncePreventsReplay(t *testing.T) {
+	u, p := newPair(t, 5)
+	program := []byte("prog")
+	job, err := u.PrepareJob([]byte("data"), program, leakage.Bits(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := LeakageParams{NumRates: 4, EpochGrowth: 16}
+	if err := p.Admit(job, program, params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.DecryptData(job); err != nil {
+		t.Fatal(err)
+	}
+	// Session ends; the processor forgets K.
+	p.EndSession()
+	// The server replays the same job (possibly with new parameters):
+	// every operation must fail.
+	if err := p.Admit(job, program, params); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("replayed Admit err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := p.DecryptData(job); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("replayed DecryptData err = %v, want ErrSessionClosed", err)
+	}
+	if _, err := p.SealResult([]byte("x")); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("replayed SealResult err = %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestReplayLeakageArithmetic(t *testing.T) {
+	// §4.3: N replays of an L-bit run leak N·L bits without protection.
+	if got := MaxReplayLeakage(leakage.Bits(32), 10); float64(got) != 320 {
+		t.Fatalf("MaxReplayLeakage = %v, want 320", got)
+	}
+	if MaxReplayLeakage(leakage.Bits(32), -1) != 0 {
+		t.Fatal("negative runs should give 0")
+	}
+}
+
+func TestLeakageParamsBits(t *testing.T) {
+	if got := float64((LeakageParams{NumRates: 4, EpochGrowth: 4}).Bits()); got != 32 {
+		t.Fatalf("R4/E4 Bits = %v, want 32", got)
+	}
+	if got := float64((LeakageParams{NumRates: 4, EpochGrowth: 16}).Bits()); got != 16 {
+		t.Fatalf("R4/E16 Bits = %v, want 16", got)
+	}
+}
+
+func TestSchedulerConfigGlue(t *testing.T) {
+	cfg, err := (LeakageParams{NumRates: 4, EpochGrowth: 2}).SchedulerConfig(1488, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("generated config invalid: %v", err)
+	}
+	if len(cfg.Rates) != 4 || cfg.Schedule.Growth != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if _, err := (LeakageParams{NumRates: 0, EpochGrowth: 2}).SchedulerConfig(1488, 1<<21); err == nil {
+		t.Fatal("accepted zero rates")
+	}
+}
+
+func TestUserRequiresHandshake(t *testing.T) {
+	u := NewUser(detRand{rand.New(rand.NewSource(6))})
+	if _, err := u.PrepareJob([]byte("d"), []byte("p"), 1); err == nil {
+		t.Fatal("PrepareJob without handshake succeeded")
+	}
+	if _, err := u.Decrypt([]byte("xxxx")); err == nil {
+		t.Fatal("Decrypt without handshake succeeded")
+	}
+}
+
+func TestFreshSessionAfterEnd(t *testing.T) {
+	// A NEW handshake after EndSession opens a fresh session: old
+	// ciphertexts stay dead, new ones work.
+	rr := detRand{rand.New(rand.NewSource(7))}
+	p, err := NewProcessor(rr, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := NewUser(rr)
+	if err := Handshake(u1, p); err != nil {
+		t.Fatal(err)
+	}
+	oldJob, _ := u1.PrepareJob([]byte("old"), []byte("p"), 100)
+	p.EndSession()
+
+	u2 := NewUser(rr)
+	if err := Handshake(u2, p); err != nil {
+		t.Fatal(err)
+	}
+	// Old job cannot be admitted under the new session key.
+	if err := p.Admit(oldJob, []byte("p"), LeakageParams{NumRates: 4, EpochGrowth: 16}); err == nil {
+		t.Fatal("old job admitted under new session")
+	}
+	newJob, _ := u2.PrepareJob([]byte("new"), []byte("p"), 100)
+	if err := p.Admit(newJob, []byte("p"), LeakageParams{NumRates: 4, EpochGrowth: 16}); err != nil {
+		t.Fatalf("new job rejected: %v", err)
+	}
+}

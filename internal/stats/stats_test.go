@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 22)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("rendered %d lines, want 4", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow("has,comma", `has"quote`)
+	var b strings.Builder
+	tb.CSV(&b)
+	out := b.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Fatalf("comma not escaped: %q", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Fatalf("quote not escaped: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("missing header: %q", out)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v, want 2", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("GeoMean with zero should be 0")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	if got := ChiSquareUniform([]int{10, 10, 10, 10}); got != 0 {
+		t.Fatalf("uniform chi2 = %v, want 0", got)
+	}
+	if got := ChiSquareUniform([]int{40, 0, 0, 0}); got <= 0 {
+		t.Fatalf("skewed chi2 = %v, want > 0", got)
+	}
+	if ChiSquareUniform(nil) != 0 {
+		t.Fatal("chi2(nil) != 0")
+	}
+	if ChiSquareUniform([]int{0, 0}) != 0 {
+		t.Fatal("chi2(zeros) != 0")
+	}
+}

@@ -1,0 +1,91 @@
+// Package trace defines the instruction-stream representation shared by the
+// in-order core model (internal/cpu) and the synthetic workload generators
+// (internal/workload). The representation is deliberately minimal — an
+// opcode class and, for memory operations, a byte address — because that is
+// all the paper's timing and energy models consume (Table 1, Table 2).
+package trace
+
+// Kind classifies an instruction by its Table 1 latency/energy class.
+type Kind uint8
+
+const (
+	// IntALU is a 1-cycle integer ALU operation.
+	IntALU Kind = iota
+	// IntMult is a 4-cycle integer multiply.
+	IntMult
+	// IntDiv is a 12-cycle integer divide.
+	IntDiv
+	// FPALU is a 2-cycle floating-point add/sub.
+	FPALU
+	// FPMult is a 4-cycle floating-point multiply.
+	FPMult
+	// FPDiv is a 10-cycle floating-point divide.
+	FPDiv
+	// Branch is a 1-cycle control transfer; the core redirects fetch.
+	Branch
+	// Load reads memory at Addr.
+	Load
+	// Store writes memory at Addr through the non-blocking write buffer.
+	Store
+	// NumKinds is the number of instruction classes.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"int-alu", "int-mult", "int-div", "fp-alu", "fp-mult", "fp-div",
+	"branch", "load", "store",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (k Kind) IsMem() bool { return k == Load || k == Store }
+
+// Instr is one dynamic instruction.
+type Instr struct {
+	Kind Kind
+	Addr uint64 // byte address for Load/Store; unused otherwise
+}
+
+// Stream produces a sequence of dynamic instructions. Implementations must
+// be deterministic for a given construction seed so experiments are
+// reproducible.
+type Stream interface {
+	// Next returns the next instruction. ok is false when the stream is
+	// exhausted (finite programs); infinite streams always return true.
+	Next() (ins Instr, ok bool)
+}
+
+// SliceStream adapts a fixed instruction slice to a Stream (test helper and
+// building block for hand-written microprograms such as the Figure 1
+// malicious program).
+type SliceStream struct {
+	instrs []Instr
+	pos    int
+}
+
+// NewSliceStream returns a Stream over instrs.
+func NewSliceStream(instrs []Instr) *SliceStream {
+	return &SliceStream{instrs: instrs}
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Instr, bool) {
+	if s.pos >= len(s.instrs) {
+		return Instr{}, false
+	}
+	ins := s.instrs[s.pos]
+	s.pos++
+	return ins, true
+}
+
+// Len returns the total number of instructions in the stream.
+func (s *SliceStream) Len() int { return len(s.instrs) }
+
+// Reset rewinds the stream to the beginning.
+func (s *SliceStream) Reset() { s.pos = 0 }

@@ -1,0 +1,59 @@
+package trace
+
+import "testing"
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		IntALU:  "int-alu",
+		IntMult: "int-mult",
+		IntDiv:  "int-div",
+		FPALU:   "fp-alu",
+		FPMult:  "fp-mult",
+		FPDiv:   "fp-div",
+		Branch:  "branch",
+		Load:    "load",
+		Store:   "store",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range Kind should stringify as unknown")
+	}
+}
+
+func TestIsMem(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		want := k == Load || k == Store
+		if got := k.IsMem(); got != want {
+			t.Errorf("Kind %v IsMem() = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	instrs := []Instr{
+		{Kind: IntALU},
+		{Kind: Load, Addr: 0x40},
+		{Kind: Store, Addr: 0x80},
+	}
+	s := NewSliceStream(instrs)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := range instrs {
+		got, ok := s.Next()
+		if !ok || got != instrs[i] {
+			t.Fatalf("Next()[%d] = %+v, %v", i, got, ok)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	s.Reset()
+	if got, ok := s.Next(); !ok || got != instrs[0] {
+		t.Fatal("Reset did not rewind")
+	}
+}

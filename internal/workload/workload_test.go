@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"testing"
+
+	"tcoram/internal/trace"
+)
+
+func TestSuiteHasElevenBenchmarks(t *testing.T) {
+	s := Suite()
+	if len(s) != 11 {
+		t.Fatalf("suite has %d benchmarks, want 11 (Fig 6)", len(s))
+	}
+	names := map[string]bool{}
+	for _, spec := range s {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if names[spec.Name] {
+			t.Errorf("duplicate benchmark %s", spec.Name)
+		}
+		names[spec.Name] = true
+	}
+	for _, want := range []string{"mcf", "omnetpp", "libquantum", "bzip2", "hmmer", "astar", "gcc", "gobmk", "sjeng", "h264ref", "perlbench"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("mcf"); !ok {
+		t.Fatal("ByName(mcf) not found")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName(nonexistent) found something")
+	}
+}
+
+func TestSpecValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Name: "", Phases: []Phase{{Weight: 1}}},
+		{Name: "x"},
+		{Name: "x", Phases: []Phase{{Weight: 0}}},
+		{Name: "x", Phases: []Phase{{Weight: 1, ColdProb: 1.5}}},
+		{Name: "x", Phases: []Phase{{Weight: 1, Mix: Mix{Load: 0.8, Store: 0.4}}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, s)
+		}
+	}
+}
+
+func TestSpecID(t *testing.T) {
+	if got := (Spec{Name: "astar", Input: "rivers"}).ID(); got != "astar/rivers" {
+		t.Fatalf("ID = %q", got)
+	}
+	if got := (Spec{Name: "mcf"}).ID(); got != "mcf" {
+		t.Fatalf("ID = %q", got)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	mk := func() []trace.Instr {
+		g, err := NewGenerator(MCF(), 1000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]trace.Instr, 0, 1000)
+		for i := 0; i < 1000; i++ {
+			ins, _ := g.Next()
+			out = append(out, ins)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	g1, _ := NewGenerator(MCF(), 1000, 1)
+	g2, _ := NewGenerator(MCF(), 1000, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a == b {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("different seeds produced %d/1000 identical instructions", same)
+	}
+}
+
+func TestGeneratorNeverEnds(t *testing.T) {
+	g, _ := NewGenerator(Hmmer(), 100, 1)
+	for i := 0; i < 500; i++ {
+		if _, ok := g.Next(); !ok {
+			t.Fatalf("stream ended at %d (should be infinite)", i)
+		}
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g, _ := NewGenerator(MCF(), 100000, 3)
+	var counts [trace.NumKinds]int
+	n := 100000
+	for i := 0; i < n; i++ {
+		ins, _ := g.Next()
+		counts[ins.Kind]++
+	}
+	mix := MCF().Phases[0].Mix
+	checks := []struct {
+		kind trace.Kind
+		want float64
+	}{
+		{trace.Load, mix.Load},
+		{trace.Store, mix.Store},
+		{trace.Branch, mix.Branch},
+	}
+	for _, c := range checks {
+		got := float64(counts[c.kind]) / float64(n)
+		if got < c.want*0.9 || got > c.want*1.1 {
+			t.Errorf("%v fraction = %.4f, want ≈%.4f", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestColdFractionMatchesSpec(t *testing.T) {
+	// The cold share of memory ops must track ColdProb even with bursts.
+	spec := Gobmk() // bursty phases
+	g, _ := NewGenerator(spec, 200000, 4)
+	memOps, cold := 0, 0
+	for i := 0; i < 200000; i++ {
+		ins, _ := g.Next()
+		if !ins.Kind.IsMem() {
+			continue
+		}
+		memOps++
+		if ins.Addr >= coldBase {
+			cold++
+		}
+	}
+	// Weighted ColdProb across gobmk phases.
+	var want, wsum float64
+	for _, p := range spec.Phases {
+		want += p.Weight * p.ColdProb
+		wsum += p.Weight
+	}
+	want /= wsum
+	got := float64(cold) / float64(memOps)
+	if got < want*0.7 || got > want*1.3 {
+		t.Fatalf("cold fraction = %.5f, want ≈%.5f", got, want)
+	}
+}
+
+func TestPhaseTransitions(t *testing.T) {
+	spec := H264ref()
+	g, _ := NewGenerator(spec, 10000, 5)
+	if got := g.PhaseAt(0); got != 0 {
+		t.Fatalf("PhaseAt(0) = %d, want 0", got)
+	}
+	if got := g.PhaseAt(9999); got != 1 {
+		t.Fatalf("PhaseAt(9999) = %d, want 1 (motion-search)", got)
+	}
+	// The switch lands at the 60% weight boundary.
+	if got := g.PhaseAt(5999); got != 0 {
+		t.Fatalf("PhaseAt(5999) = %d, want 0", got)
+	}
+	if got := g.PhaseAt(6001); got != 1 {
+		t.Fatalf("PhaseAt(6001) = %d, want 1", got)
+	}
+}
+
+func TestStridedStreamsSequentialLines(t *testing.T) {
+	g, _ := NewGenerator(Libquantum(), 100000, 6)
+	var prev uint64
+	seen := 0
+	for i := 0; i < 50000 && seen < 100; i++ {
+		ins, _ := g.Next()
+		if !ins.Kind.IsMem() || ins.Addr < coldBase {
+			continue
+		}
+		if seen > 0 && ins.Addr != prev+64 {
+			t.Fatalf("stride break: %#x after %#x", ins.Addr, prev)
+		}
+		prev = ins.Addr
+		seen++
+	}
+	if seen < 100 {
+		t.Fatalf("only %d cold accesses observed", seen)
+	}
+}
+
+func TestInputVariantsDiffer(t *testing.T) {
+	// Fig 2's premise: the same program under different inputs offers very
+	// different ORAM load.
+	d := PerlbenchInput("diffmail")
+	s := PerlbenchInput("splitmail")
+	if d.Phases[0].ColdProb <= s.Phases[0].ColdProb*50 {
+		t.Fatalf("diffmail/splitmail cold ratio = %.0f, want ≥ 50×",
+			d.Phases[0].ColdProb/s.Phases[0].ColdProb)
+	}
+	r := AstarInput("rivers")
+	b := AstarInput("biglakes")
+	if len(r.Phases) != 1 || len(b.Phases) != 3 {
+		t.Fatal("astar inputs should differ in phase structure")
+	}
+	// Unknown inputs fall back to the default behaviour.
+	if PerlbenchInput("unknown").Input != "unknown" {
+		t.Fatal("unknown perlbench input not labeled")
+	}
+	if AstarInput("unknown").Input != "unknown" {
+		t.Fatal("unknown astar input not labeled")
+	}
+}
+
+func TestAddressRegionsDisjoint(t *testing.T) {
+	g, _ := NewGenerator(Gcc(), 50000, 7)
+	for i := 0; i < 50000; i++ {
+		ins, _ := g.Next()
+		if !ins.Kind.IsMem() {
+			continue
+		}
+		if ins.Addr < hotBase {
+			t.Fatalf("data access %#x inside code region", ins.Addr)
+		}
+	}
+}
+
+func TestGeneratorRejectsBadInput(t *testing.T) {
+	if _, err := NewGenerator(Spec{}, 100, 1); err == nil {
+		t.Fatal("accepted invalid spec")
+	}
+	if _, err := NewGenerator(MCF(), 0, 1); err == nil {
+		t.Fatal("accepted zero totalInstrs")
+	}
+}
+
+func TestCodeBytesDefault(t *testing.T) {
+	g, _ := NewGenerator(Spec{Name: "x", Phases: []Phase{{Weight: 1}}}, 100, 1)
+	if g.CodeBytes() == 0 {
+		t.Fatal("CodeBytes returned 0")
+	}
+}

@@ -1,0 +1,143 @@
+package tcoram
+
+import (
+	"strings"
+	"testing"
+)
+
+// Facade-level tests: the public API a downstream user sees.
+
+func TestWorkloadsSuite(t *testing.T) {
+	w := Workloads()
+	if len(w) != 11 {
+		t.Fatalf("Workloads() = %d entries, want 11", len(w))
+	}
+	if _, ok := WorkloadByName("mcf"); !ok {
+		t.Fatal("WorkloadByName(mcf) missing")
+	}
+	if _, ok := WorkloadInput("perlbench", "splitmail"); !ok {
+		t.Fatal("WorkloadInput(perlbench, splitmail) missing")
+	}
+	if _, ok := WorkloadInput("astar", "biglakes"); !ok {
+		t.Fatal("WorkloadInput(astar, biglakes) missing")
+	}
+	if _, ok := WorkloadInput("mcf", "x"); ok {
+		t.Fatal("WorkloadInput(mcf, x) should not exist")
+	}
+}
+
+func TestSimulateEndToEnd(t *testing.T) {
+	spec, _ := WorkloadByName("hmmer")
+	res, err := Simulate(spec, Config{
+		Scheme: DynamicORAM, Instructions: 2_000_000, WarmupInstrs: 1_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 || res.IPC <= 0 || res.Power.Watts() <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestLeakageBudgetHeadlines(t *testing.T) {
+	if got := float64(LeakageBudget(4, 4)); got != 32 {
+		t.Fatalf("LeakageBudget(4,4) = %v, want 32", got)
+	}
+	if got := float64(LeakageBudget(4, 16)); got != 16 {
+		t.Fatalf("LeakageBudget(4,16) = %v, want 16", got)
+	}
+	if got := float64(TotalLeakage(4, 4)); got != 94 {
+		t.Fatalf("TotalLeakage(4,4) = %v, want 94", got)
+	}
+	if float64(UnprotectedLeakage(1e12)) < 1e8 {
+		t.Fatal("UnprotectedLeakage should be astronomical")
+	}
+}
+
+func TestPaperRatesFacade(t *testing.T) {
+	r := PaperRates(4)
+	if len(r) != 4 || r[0] != 256 || r[3] != 32768 {
+		t.Fatalf("PaperRates(4) = %v", r)
+	}
+}
+
+func TestORAMAccessLatencyNearPaper(t *testing.T) {
+	model, paper := ORAMAccessLatency()
+	if paper != 1488 {
+		t.Fatalf("paper latency = %d", paper)
+	}
+	if model < paper*8/10 || model > paper*12/10 {
+		t.Fatalf("model latency %d not within 20%% of %d", model, paper)
+	}
+}
+
+func TestRunLeakDemoFacade(t *testing.T) {
+	secret := []bool{true, false, true, true, false, false, true, false}
+	res := RunLeakDemo(secret)
+	if res.UnprotectedBits != len(secret) {
+		t.Fatalf("unprotected recovered %d/%d", res.UnprotectedBits, len(secret))
+	}
+	if !res.ShieldedTraceEq {
+		t.Fatal("shielded traces differ across secrets")
+	}
+}
+
+func TestProtocolFacadeRoundTrip(t *testing.T) {
+	proc, err := NewSecureProcessor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := NewProtocolUser()
+	if err := Handshake(user, proc); err != nil {
+		t.Fatal(err)
+	}
+	job, err := user.PrepareJob([]byte("data"), []byte("prog"), Bits(94))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Admit(job, []byte("prog"), LeakageParams{NumRates: 4, EpochGrowth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	proc.EndSession()
+	if err := proc.Admit(job, []byte("prog"), LeakageParams{NumRates: 4, EpochGrowth: 4}); err == nil {
+		t.Fatal("replay admitted after EndSession")
+	}
+}
+
+func TestDemoORAMAndProbe(t *testing.T) {
+	o, err := NewDemoORAM(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewRootProbe(o)
+	if p.Poll() {
+		t.Fatal("probe fired with no access")
+	}
+	if err := o.DummyAccess(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Poll() {
+		t.Fatal("probe missed dummy access")
+	}
+}
+
+func TestExperimentTablesRender(t *testing.T) {
+	// The non-simulation tables must render instantly and contain the
+	// paper's constants.
+	if out := ExperimentTable1().String(); !strings.Contains(out, "1488") {
+		t.Fatalf("Table1 missing 1488:\n%s", out)
+	}
+	if out := ExperimentTable2().String(); !strings.Contains(out, "984") {
+		t.Fatalf("Table2 missing 984:\n%s", out)
+	}
+	if out := ExperimentLeakage().String(); !strings.Contains(out, "126") {
+		t.Fatalf("leakage table missing 126:\n%s", out)
+	}
+}
+
+func TestBrokenDeterminismFacade(t *testing.T) {
+	divergent, at := BrokenDeterminismDemo(1488, 800)
+	if !divergent || at == 0 {
+		t.Fatalf("expected divergence within 800 cycles of jitter (got %v at %d)", divergent, at)
+	}
+}
