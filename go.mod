@@ -1,0 +1,3 @@
+module tcoram
+
+go 1.24

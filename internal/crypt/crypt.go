@@ -19,6 +19,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -72,6 +73,12 @@ type Cipher struct {
 	block  cipher.Block
 	rand   io.Reader
 	erased bool
+
+	// Scratch state for the allocation-free CTR in EncryptTo/DecryptTo.
+	// A Cipher is consequently not safe for concurrent use; each ORAM owns
+	// its own Cipher, so this mirrors the single hardware AES pipeline.
+	ctr [aes.BlockSize]byte
+	ks  [aes.BlockSize]byte
 }
 
 // NewCipher builds a Cipher from key, drawing nonces from rnd. If rnd is
@@ -101,16 +108,29 @@ func (c *Cipher) Erased() bool { return c.erased }
 // Encrypt returns nonce ‖ CTR(key, nonce, plaintext). The output length is
 // len(plaintext) + NonceSize, so fixed-size buckets stay fixed size.
 func (c *Cipher) Encrypt(plaintext []byte) ([]byte, error) {
-	if c.erased {
-		return nil, ErrKeyErased
-	}
 	out := make([]byte, NonceSize+len(plaintext))
-	if _, err := io.ReadFull(c.rand, out[:NonceSize]); err != nil {
-		return nil, fmt.Errorf("crypt: sampling nonce: %w", err)
+	if err := c.EncryptTo(out, plaintext); err != nil {
+		return nil, err
 	}
-	stream := cipher.NewCTR(c.block, out[:NonceSize])
-	stream.XORKeyStream(out[NonceSize:], plaintext)
 	return out, nil
+}
+
+// EncryptTo writes nonce ‖ CTR(key, nonce, plaintext) into dst, which must
+// be exactly len(plaintext) + NonceSize bytes. It is the allocation-free
+// core of Encrypt: the ORAM write-back path encrypts buckets directly into
+// the storage arena through it. dst must not overlap plaintext.
+func (c *Cipher) EncryptTo(dst, plaintext []byte) error {
+	if c.erased {
+		return ErrKeyErased
+	}
+	if len(dst) != NonceSize+len(plaintext) {
+		return fmt.Errorf("crypt: destination is %d bytes, want %d", len(dst), NonceSize+len(plaintext))
+	}
+	if _, err := io.ReadFull(c.rand, dst[:NonceSize]); err != nil {
+		return fmt.Errorf("crypt: sampling nonce: %w", err)
+	}
+	c.xorKeyStream(dst[NonceSize:], plaintext, dst[:NonceSize])
+	return nil
 }
 
 // Decrypt inverts Encrypt.
@@ -122,9 +142,49 @@ func (c *Cipher) Decrypt(ciphertext []byte) ([]byte, error) {
 		return nil, fmt.Errorf("crypt: ciphertext too short (%d bytes)", len(ciphertext))
 	}
 	out := make([]byte, len(ciphertext)-NonceSize)
-	stream := cipher.NewCTR(c.block, ciphertext[:NonceSize])
-	stream.XORKeyStream(out, ciphertext[NonceSize:])
+	if err := c.DecryptTo(out, ciphertext); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// DecryptTo inverts EncryptTo, writing the plaintext into dst, which must be
+// exactly len(ciphertext) - NonceSize bytes. dst must not overlap
+// ciphertext. Like EncryptTo it performs no allocation.
+func (c *Cipher) DecryptTo(dst, ciphertext []byte) error {
+	if c.erased {
+		return ErrKeyErased
+	}
+	if len(ciphertext) < NonceSize {
+		return fmt.Errorf("crypt: ciphertext too short (%d bytes)", len(ciphertext))
+	}
+	if len(dst) != len(ciphertext)-NonceSize {
+		return fmt.Errorf("crypt: destination is %d bytes, want %d", len(dst), len(ciphertext)-NonceSize)
+	}
+	c.xorKeyStream(dst, ciphertext[NonceSize:], ciphertext[:NonceSize])
+	return nil
+}
+
+// xorKeyStream XORs src with the AES-CTR keystream for nonce into dst using
+// only the Cipher's scratch state. The counter layout and big-endian
+// increment match crypto/cipher.NewCTR, so ciphertexts produced through
+// either path are interchangeable.
+func (c *Cipher) xorKeyStream(dst, src, nonce []byte) {
+	copy(c.ctr[:], nonce)
+	for off := 0; off < len(src); off += aes.BlockSize {
+		c.block.Encrypt(c.ks[:], c.ctr[:])
+		n := len(src) - off
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		subtle.XORBytes(dst[off:off+n], src[off:off+n], c.ks[:n])
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			c.ctr[i]++
+			if c.ctr[i] != 0 {
+				break
+			}
+		}
+	}
 }
 
 // MAC computes HMAC-SHA256 over the concatenation of the given parts, each

@@ -2,6 +2,8 @@ package crypt
 
 import (
 	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -41,6 +43,102 @@ func TestEncryptDecryptRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEncryptToDecryptToRoundTrip(t *testing.T) {
+	c := newTestCipher(12)
+	f := func(msg []byte) bool {
+		ct := make([]byte, NonceSize+len(msg))
+		if err := c.EncryptTo(ct, msg); err != nil {
+			return false
+		}
+		pt := make([]byte, len(msg))
+		if err := c.DecryptTo(pt, ct); err != nil {
+			return false
+		}
+		return bytes.Equal(pt, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptToMatchesStdlibCTR(t *testing.T) {
+	// The scratch-buffer CTR must produce byte-identical output to
+	// crypto/cipher.NewCTR, so old and new ciphertexts are interchangeable.
+	c := newTestCipher(13)
+	for _, n := range []int{0, 1, 15, 16, 17, 192, 216, 4096} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(i * 7)
+		}
+		ct := make([]byte, NonceSize+n)
+		if err := c.EncryptTo(ct, msg); err != nil {
+			t.Fatal(err)
+		}
+		block, err := aes.NewCipher(c.key[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, n)
+		cipher.NewCTR(block, ct[:NonceSize]).XORKeyStream(want, msg)
+		if !bytes.Equal(ct[NonceSize:], want) {
+			t.Fatalf("n=%d: EncryptTo keystream diverges from cipher.NewCTR", n)
+		}
+		// And the wrapper Decrypt must invert it.
+		pt, err := c.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Fatalf("n=%d: Decrypt(EncryptTo output) mismatch", n)
+		}
+	}
+}
+
+func TestEncryptToRejectsBadSizes(t *testing.T) {
+	c := newTestCipher(14)
+	if err := c.EncryptTo(make([]byte, 10), make([]byte, 10)); err == nil {
+		t.Fatal("EncryptTo accepted undersized destination")
+	}
+	if err := c.DecryptTo(make([]byte, 10), make([]byte, NonceSize-1)); err == nil {
+		t.Fatal("DecryptTo accepted ciphertext shorter than the nonce")
+	}
+	if err := c.DecryptTo(make([]byte, 3), make([]byte, NonceSize+10)); err == nil {
+		t.Fatal("DecryptTo accepted mismatched destination size")
+	}
+}
+
+func TestEncryptToDecryptToAfterErase(t *testing.T) {
+	c := newTestCipher(15)
+	c.Erase()
+	if err := c.EncryptTo(make([]byte, NonceSize+4), make([]byte, 4)); err != ErrKeyErased {
+		t.Fatalf("EncryptTo after Erase: err = %v, want ErrKeyErased", err)
+	}
+	if err := c.DecryptTo(make([]byte, 4), make([]byte, NonceSize+4)); err != ErrKeyErased {
+		t.Fatalf("DecryptTo after Erase: err = %v, want ErrKeyErased", err)
+	}
+}
+
+func TestEncryptToDecryptToZeroAllocs(t *testing.T) {
+	c := newTestCipher(16)
+	msg := make([]byte, 216) // one Z=3/64B bucket plaintext
+	ct := make([]byte, NonceSize+len(msg))
+	pt := make([]byte, len(msg))
+	if n := testing.AllocsPerRun(100, func() {
+		if err := c.EncryptTo(ct, msg); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("EncryptTo allocates %.1f times per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := c.DecryptTo(pt, ct); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DecryptTo allocates %.1f times per op, want 0", n)
 	}
 }
 

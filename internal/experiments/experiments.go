@@ -10,6 +10,9 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"tcoram/internal/core"
 	"tcoram/internal/crypt"
@@ -53,14 +56,56 @@ func (s Scale) config(scheme sim.Scheme) sim.Config {
 	}
 }
 
-// run is a thin wrapper that panics on configuration errors: experiment
-// definitions are static, so an error here is a bug, not an input problem.
-func run(spec workload.Spec, cfg sim.Config) sim.Result {
-	r, err := sim.Run(spec, cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %s/%s: %v", spec.ID(), cfg.Name(), err))
+// Parallelism bounds the worker pool the figure drivers fan their
+// independent sim.Run calls out on. It defaults to the core count; the
+// serial/parallel equivalence test overrides it. Values < 1 run serially.
+var Parallelism = runtime.NumCPU()
+
+// simJob is one (workload, configuration) cell of a figure.
+type simJob struct {
+	spec workload.Spec
+	cfg  sim.Config
+}
+
+// runAll executes the jobs on a bounded worker pool and returns the results
+// in job order. Every sim.Run builds its own generator, core and controller
+// from cfg.Seed — no shared mutable state — so the result slice is
+// identical to running the jobs serially, and every aggregation loop below
+// consumes it in the same deterministic order it would have used before
+// parallelization. Errors panic after all workers drain, matching run().
+func runAll(jobs []simJob) []sim.Result {
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	workers := Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	return r
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				results[i], errs[i] = sim.Run(jobs[i].spec, jobs[i].cfg)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s/%s: %v", jobs[i].spec.ID(), jobs[i].cfg.Name(), err))
+		}
+	}
+	return results
 }
 
 // Table1 dumps the timing model (Table 1) alongside the values the live
@@ -130,10 +175,13 @@ func Fig2(s Scale) *stats.Table {
 		workload.AstarInput("rivers"),
 		workload.AstarInput("biglakes"),
 	}
-	for _, spec := range specs {
-		r := run(spec, s.config(sim.BaseORAM))
-		for i, w := range r.Windows {
-			t.AddRow(spec.ID(), i, fmt.Sprintf("%.0f", w.InstrPerMem))
+	jobs := make([]simJob, len(specs))
+	for i, spec := range specs {
+		jobs[i] = simJob{spec, s.config(sim.BaseORAM)}
+	}
+	for i, r := range runAll(jobs) {
+		for w, win := range r.Windows {
+			t.AddRow(specs[i].ID(), w, fmt.Sprintf("%.0f", win.InstrPerMem))
 		}
 	}
 	return t
@@ -149,12 +197,19 @@ type Fig5Point struct {
 // Fig5Sweep runs the §9.2 static-rate sweep for one workload and returns
 // the overhead-vs-rate curve (both overheads relative to base_dram).
 func Fig5Sweep(spec workload.Spec, s Scale) []Fig5Point {
-	base := run(spec, s.config(sim.BaseDRAM))
-	var out []Fig5Point
-	for _, rate := range []uint64{100, 180, 256, 450, 800, 1300, 2300, 4100, 7300, 13000, 23000, 32768, 58000, 100000} {
+	rates := []uint64{100, 180, 256, 450, 800, 1300, 2300, 4100, 7300, 13000, 23000, 32768, 58000, 100000}
+	jobs := make([]simJob, 0, 1+len(rates))
+	jobs = append(jobs, simJob{spec, s.config(sim.BaseDRAM)})
+	for _, rate := range rates {
 		cfg := s.config(sim.StaticORAM)
 		cfg.StaticRate = rate
-		r := run(spec, cfg)
+		jobs = append(jobs, simJob{spec, cfg})
+	}
+	results := runAll(jobs)
+	base := results[0]
+	out := make([]Fig5Point, 0, len(rates))
+	for i, rate := range rates {
+		r := results[1+i]
 		out = append(out, Fig5Point{
 			Rate:           rate,
 			PerfOverheadX:  r.PerfOverhead(base),
@@ -207,12 +262,22 @@ func fig6Schemes(s Scale) []sim.Config {
 func Fig6Rows(s Scale) []Fig6Row {
 	var rows []Fig6Row
 	suite := workload.Suite()
+	schemes := fig6Schemes(s)
+	stride := 1 + len(schemes)
+	jobs := make([]simJob, 0, len(suite)*stride)
+	for _, spec := range suite {
+		jobs = append(jobs, simJob{spec, s.config(sim.BaseDRAM)})
+		for _, cfg := range schemes {
+			jobs = append(jobs, simJob{spec, cfg})
+		}
+	}
+	results := runAll(jobs)
 	sums := map[string]*Fig6Row{}
 	order := []string{}
-	for _, spec := range suite {
-		base := run(spec, s.config(sim.BaseDRAM))
-		for _, cfg := range fig6Schemes(s) {
-			r := run(spec, cfg)
+	for si, spec := range suite {
+		base := results[si*stride]
+		for ci, cfg := range schemes {
+			r := results[si*stride+1+ci]
 			row := Fig6Row{
 				Benchmark:     spec.ID(),
 				Scheme:        cfg.Name(),
@@ -266,10 +331,20 @@ func Fig7(s Scale) *stats.Table {
 	dyn.EpochGrowth = 2
 	s1300 := s.config(sim.StaticORAM)
 	s1300.StaticRate = 1300
-	for _, name := range []string{"libquantum", "gobmk", "h264ref"} {
-		spec, _ := workload.ByName(name)
-		for _, cfg := range []sim.Config{s.config(sim.BaseORAM), dyn, s1300} {
-			r := run(spec, cfg)
+	names := []string{"libquantum", "gobmk", "h264ref"}
+	cfgs := []sim.Config{s.config(sim.BaseORAM), dyn, s1300}
+	jobs := make([]simJob, 0, len(names)*len(cfgs))
+	specs := make([]workload.Spec, len(names))
+	for i, name := range names {
+		specs[i], _ = workload.ByName(name)
+		for _, cfg := range cfgs {
+			jobs = append(jobs, simJob{specs[i], cfg})
+		}
+	}
+	results := runAll(jobs)
+	for ni, spec := range specs {
+		for ci, cfg := range cfgs {
+			r := results[ni*len(cfgs)+ci]
 			marks := map[int]string{}
 			if cfg.Scheme == sim.DynamicORAM {
 				// Attribute each transition to the window containing it.
@@ -314,13 +389,25 @@ func addDynamicStudy(t *stats.Table, s Scale, numRates []int, growth []uint64) {
 		name     string
 	}
 	aggs := make([]agg, len(numRates))
+	cfgs := make([]sim.Config, len(numRates))
+	for i := range numRates {
+		cfgs[i] = s.config(sim.DynamicORAM)
+		cfgs[i].NumRates = numRates[i]
+		cfgs[i].EpochGrowth = growth[i]
+	}
+	stride := 1 + len(cfgs)
+	jobs := make([]simJob, 0, len(suite)*stride)
 	for _, spec := range suite {
-		base := run(spec, s.config(sim.BaseDRAM))
-		for i := range numRates {
-			cfg := s.config(sim.DynamicORAM)
-			cfg.NumRates = numRates[i]
-			cfg.EpochGrowth = growth[i]
-			r := run(spec, cfg)
+		jobs = append(jobs, simJob{spec, s.config(sim.BaseDRAM)})
+		for _, cfg := range cfgs {
+			jobs = append(jobs, simJob{spec, cfg})
+		}
+	}
+	results := runAll(jobs)
+	for si, spec := range suite {
+		base := results[si*stride]
+		for i, cfg := range cfgs {
+			r := results[si*stride+1+i]
 			t.AddRow(spec.ID(), cfg.Name(), r.PerfOverhead(base), r.Power.Watts(),
 				fmt.Sprintf("%.0f", float64(r.LeakageBits)))
 			aggs[i].perf += r.PerfOverhead(base) / float64(len(suite))
@@ -355,15 +442,24 @@ func ComputeHeadline(s Scale) Headline {
 	suite := workload.Suite()
 	n := float64(len(suite))
 	var h Headline
+	cfgs := fig6Schemes(s)
+	stride := 1 + len(cfgs)
+	jobs := make([]simJob, 0, len(suite)*stride)
 	for _, spec := range suite {
-		base := run(spec, s.config(sim.BaseDRAM))
+		jobs = append(jobs, simJob{spec, s.config(sim.BaseDRAM)})
+		for _, cfg := range cfgs {
+			jobs = append(jobs, simJob{spec, cfg})
+		}
+	}
+	results := runAll(jobs)
+	for si := range suite {
+		base := results[si*stride]
 		h.BaseDRAMPowerW += base.Power.Watts() / n
-		cfgs := fig6Schemes(s)
-		or := run(spec, cfgs[0])
-		dy := run(spec, cfgs[1])
-		s3 := run(spec, cfgs[2])
-		s5 := run(spec, cfgs[3])
-		s13 := run(spec, cfgs[4])
+		or := results[si*stride+1]
+		dy := results[si*stride+2]
+		s3 := results[si*stride+3]
+		s5 := results[si*stride+4]
+		s13 := results[si*stride+5]
 		h.BaseORAMPerfX += or.PerfOverhead(base) / n
 		h.BaseORAMPowerW += or.Power.Watts() / n
 		h.DynPerfX += dy.PerfOverhead(base) / n

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -140,6 +141,27 @@ func TestFig6ShapeHolds(t *testing.T) {
 	}
 	if get("Avg", "base_oram").LeakageBits < 1e9 {
 		t.Error("base_oram leakage should be astronomical")
+	}
+}
+
+func TestFig6RowsParallelSerialEquivalence(t *testing.T) {
+	// The worker-pool fan-out must not change results: every sim.Run is
+	// seed-deterministic and self-contained, and aggregation happens in job
+	// order. Compare a forced-serial run against a forced-parallel one at a
+	// reduced scale (full Quick would run the suite twice).
+	s := Scale{Instructions: 300_000, Warmup: 100_000, WindowInstrs: 100_000, EpochFirstLen: 1 << 16}
+	defer func(p int) { Parallelism = p }(Parallelism)
+	Parallelism = 1
+	serial := Fig6Rows(s)
+	Parallelism = 8
+	parallel := Fig6Rows(s)
+	if !reflect.DeepEqual(serial, parallel) {
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Fatalf("row %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
+			}
+		}
+		t.Fatal("parallel Fig6Rows differs from serial")
 	}
 }
 

@@ -36,15 +36,22 @@ type BusEvent struct {
 
 // ORAM is a single-level functional Path ORAM with a flat position map.
 // The Recursive type stacks these to form the paper's 3-level recursion.
+//
+// The access hot path is allocation-free in steady state: buckets are
+// decrypted into a reused plaintext scratch buffer, stash payloads are
+// recycled through a free list, write-back encrypts directly into the
+// storage arena, and the position map is a flat slice.
 type ORAM struct {
 	geom    Geometry
-	store   Storage
+	store   *ByteStorage
 	cipher  *crypt.Cipher
 	stash   *Stash
-	posmap  map[uint64]uint64
+	posmap  *positionMap
 	rng     *rand.Rand
 	pathBuf []uint64
-	blkBuf  []Block
+	ptBuf   []byte // bucket plaintext scratch (decrypt target, encode source)
+	zeroBuf []byte // immutable all-zero payload for first-touch blocks
+	plan    EvictPlan
 
 	integrity *merkleTree // optional integrity extension ([25])
 
@@ -68,20 +75,20 @@ func NewORAM(g Geometry, key crypt.Key, rng *rand.Rand) (*ORAM, error) {
 		rng = rand.New(rand.NewSource(1))
 	}
 	o := &ORAM{
-		geom:   g,
-		store:  NewByteStorage(g),
-		cipher: crypt.NewCipher(key, randReader{rng}),
-		stash:  NewStash(),
-		posmap: make(map[uint64]uint64),
-		rng:    rng,
+		geom:    g,
+		store:   NewByteStorage(g),
+		cipher:  crypt.NewCipher(key, randReader{rng}),
+		stash:   NewStash(),
+		posmap:  newPositionMap(g.Capacity()),
+		rng:     rng,
+		ptBuf:   make([]byte, g.BucketPlainBytes()),
+		zeroBuf: make([]byte, g.BlockBytes),
 	}
 	empty := g.encodeBucket(nil)
 	for i := uint64(0); i < g.Buckets(); i++ {
-		ct, err := o.cipher.Encrypt(empty)
-		if err != nil {
+		if err := o.cipher.EncryptTo(o.store.BucketSlice(i), empty); err != nil {
 			return nil, err
 		}
-		o.store.WriteBucket(i, ct)
 	}
 	return o, nil
 }
@@ -106,7 +113,7 @@ func (rr randReader) Read(p []byte) (int, error) {
 func (o *ORAM) Geometry() Geometry { return o.geom }
 
 // Storage exposes the untrusted memory (the adversary's vantage point).
-func (o *ORAM) Storage() *ByteStorage { return o.store.(*ByteStorage) }
+func (o *ORAM) Storage() *ByteStorage { return o.store }
 
 // StashOccupancy returns current and peak stash sizes.
 func (o *ORAM) StashOccupancy() (cur, peak int) {
@@ -126,8 +133,7 @@ func (o *ORAM) EnableIntegrity() {
 // PositionOf returns the leaf currently assigned to addr and whether the
 // block has ever been written (test hook for the path invariant).
 func (o *ORAM) PositionOf(addr uint64) (uint64, bool) {
-	l, ok := o.posmap[addr]
-	return l, ok
+	return o.posmap.Get(addr)
 }
 
 // randomLeaf samples a uniformly random leaf.
@@ -148,14 +154,14 @@ func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("pathoram: write payload is %d bytes, want %d", len(data), o.geom.BlockBytes)
 	}
 
-	leaf, known := o.posmap[addr]
+	leaf, known := o.posmap.Get(addr)
 	if !known {
 		leaf = o.randomLeaf()
 	}
 	// Remap before the write-back so the fetched block re-enters the tree
 	// under its new, independent leaf — the critical security step (§3.1).
 	newLeaf := o.randomLeaf()
-	o.posmap[addr] = newLeaf
+	o.posmap.Set(addr, newLeaf)
 
 	if err := o.readPath(leaf); err != nil {
 		return nil, err
@@ -163,8 +169,7 @@ func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, error) {
 
 	blk := o.stash.Get(addr)
 	if blk == nil {
-		b := Block{Addr: addr, Leaf: newLeaf, Data: make([]byte, o.geom.BlockBytes)}
-		o.stash.Put(b)
+		o.stash.Put(Block{Addr: addr, Leaf: newLeaf, Data: o.zeroBuf})
 		blk = o.stash.Get(addr)
 	}
 	blk.Leaf = newLeaf
@@ -200,9 +205,12 @@ func (o *ORAM) DummyAccess() error {
 	return nil
 }
 
-// readPath decrypts every bucket on the path to leaf into the stash.
+// readPath decrypts every bucket on the path to leaf into the stash. Each
+// bucket is decrypted into the reused plaintext scratch and its real blocks
+// copied into stash-owned buffers — no per-bucket or per-block allocation.
 func (o *ORAM) readPath(leaf uint64) error {
 	o.pathBuf = o.geom.PathIndices(o.pathBuf[:0], leaf)
+	slotBytes := BlockHeaderBytes + o.geom.BlockBytes
 	for _, idx := range o.pathBuf {
 		ct := o.store.ReadBucket(idx)
 		if o.integrity != nil {
@@ -210,16 +218,16 @@ func (o *ORAM) readPath(leaf uint64) error {
 				return err
 			}
 		}
-		plain, err := o.cipher.Decrypt(ct)
-		if err != nil {
+		if err := o.cipher.DecryptTo(o.ptBuf, ct); err != nil {
 			return err
 		}
-		o.blkBuf, err = o.geom.decodeBucket(o.blkBuf[:0], plain)
-		if err != nil {
-			return err
-		}
-		for _, b := range o.blkBuf {
-			o.stash.Put(b)
+		for i := 0; i < o.geom.Z; i++ {
+			off := i * slotBytes
+			addr, blkLeaf := unpackHeader(o.ptBuf[off:])
+			if addr == DummyAddr {
+				continue
+			}
+			o.stash.Put(Block{Addr: addr, Leaf: blkLeaf, Data: o.ptBuf[off+BlockHeaderBytes : off+slotBytes]})
 		}
 		if o.TraceBus {
 			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: false})
@@ -229,17 +237,19 @@ func (o *ORAM) readPath(leaf uint64) error {
 }
 
 // writePath re-encrypts the path to leaf, evicting stash blocks greedily
-// from the leaf level upward.
+// from the leaf level upward. Eviction is planned in a single stash scan
+// (grouped by deepest eligible level) and each bucket is encoded into the
+// plaintext scratch and encrypted straight into the storage arena.
 func (o *ORAM) writePath(leaf uint64) error {
 	o.pathBuf = o.geom.PathIndices(o.pathBuf[:0], leaf)
+	o.stash.PlanPathEviction(o.geom, leaf, o.geom.Z, &o.plan)
 	for level := o.geom.Levels - 1; level >= 0; level-- {
 		idx := o.pathBuf[level]
-		blocks := o.stash.EvictForBucket(o.geom, leaf, level, o.geom.Z)
-		ct, err := o.cipher.Encrypt(o.geom.encodeBucket(blocks))
-		if err != nil {
+		o.encodePlannedBucket(level)
+		ct := o.store.BucketSlice(idx)
+		if err := o.cipher.EncryptTo(ct, o.ptBuf); err != nil {
 			return err
 		}
-		o.store.WriteBucket(idx, ct)
 		if o.integrity != nil {
 			o.integrity.update(idx, ct)
 		}
@@ -247,7 +257,26 @@ func (o *ORAM) writePath(leaf uint64) error {
 			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: true})
 		}
 	}
+	o.stash.RemovePlanned(&o.plan)
 	return nil
+}
+
+// encodePlannedBucket packs the blocks the eviction plan assigned to level
+// into the plaintext scratch, padding the remaining slots with dummies.
+func (o *ORAM) encodePlannedBucket(level int) {
+	sel := o.plan.LevelBlocks(level)
+	slot := o.ptBuf
+	for i := 0; i < o.geom.Z; i++ {
+		if i < len(sel) {
+			b := o.stash.BlockAt(sel[i])
+			packHeader(slot, b.Addr, b.Leaf)
+			copy(slot[BlockHeaderBytes:BlockHeaderBytes+o.geom.BlockBytes], b.Data)
+		} else {
+			packHeader(slot, DummyAddr, 0)
+			clear(slot[BlockHeaderBytes : BlockHeaderBytes+o.geom.BlockBytes])
+		}
+		slot = slot[BlockHeaderBytes+o.geom.BlockBytes:]
+	}
 }
 
 // CheckInvariant verifies Path ORAM's core invariant for every mapped block:
@@ -273,13 +302,18 @@ func (o *ORAM) CheckInvariant() error {
 			located[b.Addr] = idx
 		}
 	}
-	for addr, leaf := range o.posmap {
+	var invErr error
+	o.posmap.ForEach(func(addr, leaf uint64) {
+		if invErr != nil {
+			return
+		}
 		if o.stash.Get(addr) != nil {
-			continue
+			return
 		}
 		bucket, ok := located[addr]
 		if !ok {
-			return fmt.Errorf("pathoram: mapped block %#x in neither stash nor tree", addr)
+			invErr = fmt.Errorf("pathoram: mapped block %#x in neither stash nor tree", addr)
+			return
 		}
 		onPath := false
 		for level := 0; level < o.geom.Levels; level++ {
@@ -289,8 +323,8 @@ func (o *ORAM) CheckInvariant() error {
 			}
 		}
 		if !onPath {
-			return fmt.Errorf("pathoram: block %#x in bucket %d is off the path to its leaf %d", addr, bucket, leaf)
+			invErr = fmt.Errorf("pathoram: block %#x in bucket %d is off the path to its leaf %d", addr, bucket, leaf)
 		}
-	}
-	return nil
+	})
+	return invErr
 }

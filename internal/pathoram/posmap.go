@@ -1,0 +1,78 @@
+package pathoram
+
+// unknownLeaf marks a position-map slot whose block has never been accessed.
+const unknownLeaf = ^uint64(0)
+
+// positionMap maps block addresses to leaf labels. Dense addresses (the
+// overwhelmingly common case: recursive stacks and the simulator address
+// blocks 0..n-1) live in a flat slice indexed by address — no hashing, no
+// per-access map overhead, cache-friendly. Addresses beyond the tree's
+// capacity fall back to a map so the sparse corner of the Access API keeps
+// working. In hardware terms the flat slice is the on-chip SRAM position
+// map of §3.1.
+type positionMap struct {
+	flat  []uint64 // flat[addr] = leaf, or unknownLeaf
+	limit uint64   // flat may grow to cover addresses < limit
+	over  map[uint64]uint64
+}
+
+// newPositionMap returns a position map whose flat region may grow to limit
+// entries (the tree capacity); storage is allocated lazily as addresses are
+// touched.
+func newPositionMap(limit uint64) *positionMap {
+	return &positionMap{limit: limit}
+}
+
+// Get returns the leaf for addr and whether one has been assigned.
+func (p *positionMap) Get(addr uint64) (uint64, bool) {
+	if addr < p.limit {
+		if addr >= uint64(len(p.flat)) {
+			return 0, false
+		}
+		l := p.flat[addr]
+		return l, l != unknownLeaf
+	}
+	l, ok := p.over[addr]
+	return l, ok
+}
+
+// Set assigns a leaf to addr, growing the flat region (amortized O(1)) when
+// a new dense address appears.
+func (p *positionMap) Set(addr, leaf uint64) {
+	if addr < p.limit {
+		if addr >= uint64(len(p.flat)) {
+			n := uint64(len(p.flat)) * 2
+			if n < addr+1 {
+				n = addr + 1
+			}
+			if n > p.limit {
+				n = p.limit
+			}
+			grown := make([]uint64, n)
+			copy(grown, p.flat)
+			for i := len(p.flat); i < len(grown); i++ {
+				grown[i] = unknownLeaf
+			}
+			p.flat = grown
+		}
+		p.flat[addr] = leaf
+		return
+	}
+	if p.over == nil {
+		p.over = make(map[uint64]uint64)
+	}
+	p.over[addr] = leaf
+}
+
+// ForEach calls fn for every assigned (addr, leaf) pair: dense addresses in
+// ascending order, then overflow addresses in unspecified order.
+func (p *positionMap) ForEach(fn func(addr, leaf uint64)) {
+	for addr, leaf := range p.flat {
+		if leaf != unknownLeaf {
+			fn(uint64(addr), leaf)
+		}
+	}
+	for addr, leaf := range p.over {
+		fn(addr, leaf)
+	}
+}

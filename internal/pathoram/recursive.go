@@ -106,9 +106,11 @@ func (c RecursiveConfig) AccessBytes() (oneWay, roundTrip int) {
 // An access touches every level (smallest position map first), exactly the
 // traffic pattern the timing model costs.
 type Recursive struct {
-	cfg    RecursiveConfig
-	orams  []*ORAM // orams[0] = data, orams[1..] = position maps, largest first
-	onChip map[uint64]uint32
+	cfg   RecursiveConfig
+	orams []*ORAM // orams[0] = data, orams[1..] = position maps, largest first
+	// onChip is the final position map held in on-chip SRAM: a flat slice
+	// indexed by block number, unassignedLabel for never-touched entries.
+	onChip []uint32
 	rng    *rand.Rand
 
 	Accesses      uint64
@@ -132,10 +134,14 @@ func NewRecursive(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand) (*Recursiv
 		}
 		orams[i] = o
 	}
+	onChip := make([]uint32, cfg.OnChipPosMapEntries())
+	for i := range onChip {
+		onChip[i] = unassignedLabel
+	}
 	return &Recursive{
 		cfg:    cfg,
 		orams:  orams,
-		onChip: make(map[uint64]uint32),
+		onChip: onChip,
 		rng:    rng,
 	}, nil
 }
@@ -153,11 +159,10 @@ func (r *Recursive) DataORAM() *ORAM { return r.orams[0] }
 func (r *Recursive) lookupAndRemap(level int, index uint64, newLabel uint32) (uint32, error) {
 	fan := r.cfg.LabelsPerBlock()
 	if level == r.cfg.Recursion {
-		// On-chip map: direct read-modify-write, no external access.
-		cur, ok := r.onChip[index]
-		if !ok {
-			cur = unassignedLabel
-		}
+		// On-chip map: direct read-modify-write, no external access. index
+		// is bounded by OnChipPosMapEntries because the data address was
+		// range-checked and each recursion level divides by the fan-out.
+		cur := r.onChip[index]
 		r.onChip[index] = newLabel
 		return cur, nil
 	}
@@ -200,13 +205,13 @@ func (o *ORAM) accessAt(addr uint64, curLeaf uint32, newLeaf uint64, mutate func
 	if leaf >= o.geom.Leaves() {
 		return fmt.Errorf("pathoram: leaf %d out of range", leaf)
 	}
-	o.posmap[addr] = newLeaf
+	o.posmap.Set(addr, newLeaf)
 	if err := o.readPath(leaf); err != nil {
 		return err
 	}
 	blk := o.stash.Get(addr)
 	if blk == nil {
-		o.stash.Put(Block{Addr: addr, Leaf: newLeaf, Data: make([]byte, o.geom.BlockBytes)})
+		o.stash.Put(Block{Addr: addr, Leaf: newLeaf, Data: o.zeroBuf})
 		blk = o.stash.Get(addr)
 	}
 	blk.Leaf = newLeaf

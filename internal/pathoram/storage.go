@@ -56,6 +56,14 @@ func (s *ByteStorage) WriteBucket(idx uint64, ciphertext []byte) {
 	copy(s.buf[off:], ciphertext)
 }
 
+// BucketSlice returns the mutable backing bytes of bucket idx. The ORAM
+// write-back path encrypts buckets directly into this slice, skipping the
+// intermediate ciphertext buffer (and copy) that WriteBucket requires.
+func (s *ByteStorage) BucketSlice(idx uint64) []byte {
+	off := s.BucketOffset(idx)
+	return s.buf[off : off+s.bucketSize]
+}
+
 // Snapshot copies the raw bytes of bucket idx — the adversary's view.
 func (s *ByteStorage) Snapshot(idx uint64) []byte {
 	out := make([]byte, s.bucketSize)

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — run the repo's perf-trajectory benchmarks and emit a JSON
+# record (BENCH_<date>.json) so successive PRs can track ns/op, B/op and
+# allocs/op for the hot paths over time.
+#
+# Usage: scripts/bench.sh [output-dir]    (default: repo root)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+outdir="${1:-.}"
+stamp="$(date +%Y%m%d)"
+out="${outdir}/BENCH_${stamp}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+benches='BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen'
+go test -run '^$' -bench "$benches" -benchmem -benchtime=1s -count=1 . | tee "$raw"
+
+# Convert `go test -bench` lines into a JSON array. A bench line looks like:
+#   BenchmarkPathORAMAccess  202093  11572 ns/op  1 B/op  0 allocs/op
+awk -v date="$stamp" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+BEGIN { print "[" ; n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  {\"date\": \"%s\", \"commit\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s", date, commit, name, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$raw" > "$out"
+
+echo "wrote $out"
