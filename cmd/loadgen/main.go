@@ -1,0 +1,155 @@
+// Command loadgen drives a multi-client key-value workload against an
+// oramd daemon and reports throughput, latency percentiles and the observed
+// dummy fraction per scenario.
+//
+// With -addr it targets a running daemon; without it, loadgen starts an
+// in-process oramd on a loopback port and drives that — the one-command
+// demo and the configuration the e2e acceptance test mirrors:
+//
+//	loadgen                                   # in-process, all scenarios
+//	loadgen -addr 127.0.0.1:7312 -clients 32  # external daemon
+//	loadgen -scenario zipf -ops 5000          # one scenario, heavier run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"tcoram/internal/server"
+	"tcoram/internal/sim"
+	"tcoram/internal/workload"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "daemon address; empty = start an in-process oramd")
+		scenario   = flag.String("scenario", "all", "uniform | zipf | read-mostly | scan | all")
+		clients    = flag.Int("clients", 8, "concurrent clients")
+		ops        = flag.Int("ops", 500, "operations per client")
+		blocks     = flag.Uint64("blocks", 4096, "address space to exercise (must fit the server)")
+		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block (must match the server)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+
+		// In-process server shape (ignored with -addr).
+		shards = flag.Int("shards", 4, "in-process: shard count")
+		rate   = flag.Uint64("rate", 85, "in-process: static rate (cycles; 100 cycles = 100 µs at 1 MHz)")
+		olat   = flag.Uint64("olat", 15, "in-process: ORAM latency in cycles")
+	)
+	flag.Parse()
+
+	target := *addr
+	if target == "" {
+		st, err := server.New(server.Config{
+			Shards:      *shards,
+			Blocks:      *blocks,
+			BlockBytes:  *blockBytes,
+			ClockHz:     1_000_000,
+			ORAMLatency: *olat,
+			Rates:       []uint64{*rate},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		defer l.Close()
+		go server.Serve(l, st)
+		target = l.Addr().String()
+		fmt.Printf("loadgen: started in-process oramd (%d shards) on %s\n", *shards, target)
+	}
+
+	scenarios, err := pickScenarios(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+
+	statsClient, err := server.Dial(target)
+	if err != nil {
+		fatal(err)
+	}
+	defer statsClient.Close()
+
+	table := sim.ServiceReportTable("loadgen @ " + target)
+	var failures int
+	for _, sc := range scenarios {
+		// RunLoad never closes what dial returns; collect the per-client
+		// connections and close them after each scenario.
+		var connMu sync.Mutex
+		var conns []*server.Client
+		rep, err := server.RunLoad(
+			func() (server.KV, error) {
+				c, err := server.Dial(target)
+				if err != nil {
+					return nil, err
+				}
+				connMu.Lock()
+				conns = append(conns, c)
+				connMu.Unlock()
+				return c, nil
+			},
+			func() (server.Stats, error) { return statsClient.Stats() },
+			server.LoadConfig{
+				Scenario:     sc,
+				Clients:      *clients,
+				OpsPerClient: *ops,
+				Blocks:       *blocks,
+				BlockBytes:   *blockBytes,
+				Seed:         *seed,
+			})
+		for _, c := range conns {
+			c.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", sc, err)
+			failures++
+			continue
+		}
+		rep.Row(table)
+		if rep.Lost > 0 || rep.Corrupted > 0 {
+			failures++
+		}
+	}
+	if *csv {
+		table.CSV(os.Stdout)
+	} else {
+		table.Render(os.Stdout)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d scenario(s) had lost or corrupted operations\n", failures)
+		os.Exit(1)
+	}
+}
+
+func pickScenarios(s string) ([]workload.KVScenario, error) {
+	if s == "all" {
+		return workload.KVScenarios(), nil
+	}
+	var out []workload.KVScenario
+	for _, part := range strings.Split(s, ",") {
+		sc := workload.KVScenario(strings.TrimSpace(part))
+		ok := false
+		for _, known := range workload.KVScenarios() {
+			if sc == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("loadgen: unknown scenario %q (have %v)", sc, workload.KVScenarios())
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+	os.Exit(1)
+}

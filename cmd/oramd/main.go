@@ -1,0 +1,123 @@
+// Command oramd serves a sharded, rate-enforced ORAM key-value store over
+// TCP (JSON-lines protocol; see internal/server/wire.go).
+//
+// Examples:
+//
+//	oramd -addr :7312 -shards 8 -blocks 65536
+//	oramd -addr :7312 -rates 85 -olat 15            # static 100 µs slots
+//	oramd -addr :7312 -rates 45,195,495 -epoch 1e6  # dynamic epoch learner
+//	oramd -addr :7312 -unpaced                      # no timing protection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"tcoram/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7312", "listen address")
+		shards     = flag.Int("shards", 4, "number of independent ORAM shards")
+		blocks     = flag.Uint64("blocks", 65536, "total address space in blocks")
+		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block")
+		z          = flag.Int("z", 3, "bucket capacity Z")
+		queue      = flag.Int("queue", 256, "per-shard request queue depth")
+		seed       = flag.Int64("seed", 1, "deterministic construction seed")
+		hz         = flag.Uint64("hz", 1_000_000, "enforcer cycle frequency (cycles/s)")
+		olat       = flag.Uint64("olat", 15, "ORAM access latency in cycles")
+		rates      = flag.String("rates", "85", "comma-separated allowed rate set (cycles, ascending)")
+		epochLen   = flag.Uint64("epoch", 0, "first epoch length in cycles (0 = static rate)")
+		growth     = flag.Uint64("growth", 4, "epoch length growth factor")
+		unpaced    = flag.Bool("unpaced", false, "disable rate enforcement (no dummies; leaks timing)")
+	)
+	flag.Parse()
+
+	rateSet, err := parseRates(*rates)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := server.Config{
+		Shards:        *shards,
+		Blocks:        *blocks,
+		BlockBytes:    *blockBytes,
+		Z:             *z,
+		QueueDepth:    *queue,
+		Seed:          *seed,
+		ClockHz:       *hz,
+		ORAMLatency:   *olat,
+		Rates:         rateSet,
+		EpochFirstLen: *epochLen,
+		EpochGrowth:   *growth,
+		Unpaced:       *unpaced,
+	}
+	st, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	eff := st.Config()
+	mode := fmt.Sprintf("paced (rates %v cycles @ %d Hz, OLAT %d)", eff.Rates, eff.ClockHz, eff.ORAMLatency)
+	if eff.Unpaced {
+		mode = "UNPACED (no timing protection)"
+	} else if eff.EpochFirstLen > 0 {
+		mode += fmt.Sprintf(", dynamic epochs (first %d, growth %d)", eff.EpochFirstLen, eff.EpochGrowth)
+	}
+	fmt.Printf("oramd: serving %d blocks × %d B over %d shards on %s — %s\n",
+		eff.Blocks, eff.BlockBytes, eff.Shards, l.Addr(), mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- server.Serve(l, st) }()
+	select {
+	case s := <-sig:
+		fmt.Printf("oramd: %v — shutting down\n", s)
+	case err := <-done:
+		if !server.IsClosedErr(err) {
+			fmt.Fprintf(os.Stderr, "oramd: accept: %v\n", err)
+		}
+	}
+	l.Close()
+	st.Close()
+
+	stats := st.Stats()
+	real, dummy, coalesced := stats.Totals()
+	fmt.Printf("oramd: served %d real + %d dummy accesses (dummy fraction %.3f), %d coalesced\n",
+		real, dummy, stats.DummyFraction(), coalesced)
+}
+
+func parseRates(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("oramd: bad rate %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("oramd: empty rate set")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "oramd: %v\n", err)
+	os.Exit(1)
+}

@@ -253,23 +253,57 @@ func (e *Enforcer) advanceTo(t uint64) {
 func (e *Enforcer) Fetch(now uint64, lineAddr uint64) uint64 {
 	_ = lineAddr // the enforcer's timing is address-independent by design
 	e.advanceTo(now)
-	// Invariant: advanceTo leaves the next slot at or after now, so the
-	// demand is served by the first slot of the fixed grid — never at an
-	// ad-hoc time, which would break the schedule's data-independence.
-	slot := e.lastEnd + e.rate
-	from := now
-	if e.wasteCovered > from {
-		from = e.wasteCovered
-	}
-	if slot > from {
-		e.counters.Waste += slot - from
-	}
-	e.wasteCovered = slot + e.cfg.ORAMLatency
-	e.counters.AccessCount++
-	e.counters.ORAMCycles += e.cfg.ORAMLatency
-	e.record(slot, SlotDemand)
-	e.lastEnd = slot + e.cfg.ORAMLatency
+	// Invariant: advanceTo leaves the next slot at or after now (and has
+	// already applied any due epoch transition), so the demand is served by
+	// the first slot of the fixed grid — never at an ad-hoc time, which
+	// would break the schedule's data-independence.
+	e.takeSlot(now, true)
 	return e.lastEnd
+}
+
+// NextSlot returns the start cycle of the earliest slot that has not yet
+// been issued. Slot starts depend only on the rate sequence, never on the
+// request stream, so callers may publish them freely.
+func (e *Enforcer) NextSlot() uint64 {
+	e.maybeTransition()
+	return e.lastEnd + e.rate
+}
+
+// TakeSlot issues the next scheduled slot unconditionally, as a demand
+// (real) access when demand is true and as a dummy otherwise, and returns
+// its start cycle. Unlike Fetch/Sync it does not advance to a target cycle
+// first: the slot grid is consumed one slot at a time, which is the shape a
+// wall-clock pacing loop needs (sleep until the slot opens, then decide
+// real-vs-dummy from the queue). arrival is the cycle the pending request
+// arrived (used for the learner's Waste accounting; ignored for dummies).
+// For back-to-back demands this adds exactly rate Waste per access, matching
+// Fetch (Req 3, Fig 4).
+func (e *Enforcer) TakeSlot(arrival uint64, demand bool) uint64 {
+	e.maybeTransition()
+	return e.takeSlot(arrival, demand)
+}
+
+// takeSlot is TakeSlot after the epoch-transition check (Fetch reaches it
+// through advanceTo, which has already applied transitions).
+func (e *Enforcer) takeSlot(arrival uint64, demand bool) uint64 {
+	slot := e.lastEnd + e.rate
+	if demand {
+		from := arrival
+		if e.wasteCovered > from {
+			from = e.wasteCovered
+		}
+		if slot > from {
+			e.counters.Waste += slot - from
+		}
+		e.wasteCovered = slot + e.cfg.ORAMLatency
+		e.counters.AccessCount++
+		e.counters.ORAMCycles += e.cfg.ORAMLatency
+		e.record(slot, SlotDemand)
+	} else {
+		e.record(slot, SlotDummy)
+	}
+	e.lastEnd = slot + e.cfg.ORAMLatency
+	return slot
 }
 
 // Writeback implements cache.MemoryPort: the dirty line is absorbed into

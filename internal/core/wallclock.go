@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CycleClock maps wall-clock time onto the enforcer's cycle domain at a
+// fixed nominal frequency. The cycle-based Enforcer models a hardware
+// memory controller clocked in processor cycles; a software server that
+// wants the same data-independent slot grid needs a bijection between
+// cycles and wall time. Cycle 0 corresponds to the clock's epoch (the
+// moment the serving session began).
+type CycleClock struct {
+	epoch time.Time
+	hz    uint64
+}
+
+// NewCycleClock starts a cycle clock at frequency hz (cycles per second)
+// with its epoch at the current wall time. hz must be positive and at most
+// 1e9 (one cycle per nanosecond — finer grids are not representable in
+// time.Duration without loss).
+func NewCycleClock(hz uint64) (*CycleClock, error) {
+	return NewCycleClockAt(hz, time.Now())
+}
+
+// NewCycleClockAt is NewCycleClock with an explicit epoch (test hook).
+func NewCycleClockAt(hz uint64, epoch time.Time) (*CycleClock, error) {
+	if hz == 0 || hz > 1_000_000_000 {
+		return nil, fmt.Errorf("core: cycle clock frequency must be in [1, 1e9] Hz, got %d", hz)
+	}
+	return &CycleClock{epoch: epoch, hz: hz}, nil
+}
+
+// Hz returns the clock frequency in cycles per second.
+func (c *CycleClock) Hz() uint64 { return c.hz }
+
+// Epoch returns the wall time of cycle 0.
+func (c *CycleClock) Epoch() time.Time { return c.epoch }
+
+// Cycles converts a wall time to a cycle count. Times before the epoch
+// clamp to 0.
+func (c *CycleClock) Cycles(t time.Time) uint64 {
+	d := t.Sub(c.epoch)
+	if d <= 0 {
+		return 0
+	}
+	// Split to avoid overflow: d*hz can exceed uint64 for long sessions at
+	// high frequencies if computed in nanoseconds directly.
+	secs := uint64(d / time.Second)
+	rem := uint64(d % time.Second)
+	return secs*c.hz + rem*c.hz/uint64(time.Second)
+}
+
+// Now returns the current cycle.
+func (c *CycleClock) Now() uint64 { return c.Cycles(time.Now()) }
+
+// TimeOf returns the wall time at which the given cycle begins.
+func (c *CycleClock) TimeOf(cycle uint64) time.Time {
+	secs := cycle / c.hz
+	rem := cycle % c.hz
+	return c.epoch.Add(time.Duration(secs)*time.Second +
+		time.Duration(rem*uint64(time.Second)/c.hz))
+}
+
+// Until returns how long from now until the given cycle begins (non-positive
+// if it has already passed).
+func (c *CycleClock) Until(cycle uint64) time.Duration {
+	return time.Until(c.TimeOf(cycle))
+}
+
+// WallEnforcer adapts the cycle-based Enforcer to wall-clock time for the
+// concurrent server: it serializes access to the enforcer (whose methods are
+// not safe for concurrent use) and translates the slot grid through a
+// CycleClock. The pacing loop drives it one slot at a time:
+//
+//	slot, wait := w.NextSlot()
+//	sleep(wait)                    // requests only queue meanwhile
+//	w.TakeSlot(arrival, demand)    // consume the slot, then do the ORAM work
+//
+// Timing stays data-independent because slot start cycles depend only on the
+// rate sequence; whether a slot carried real or dummy work is invisible on
+// the bus. If the host cannot keep up (serving a slot takes longer than the
+// rate interval), the cycle grid slips behind wall time and the loop issues
+// slots back-to-back until it catches up — a software-only failure mode a
+// hardware controller does not have, surfaced via Stats for monitoring.
+type WallEnforcer struct {
+	mu    sync.Mutex
+	e     *Enforcer
+	clock *CycleClock
+}
+
+// NewWallEnforcer builds the adapter. The enforcer must be freshly
+// constructed (cycle 0 = clock epoch) and must not be used directly once
+// wrapped.
+func NewWallEnforcer(e *Enforcer, clock *CycleClock) *WallEnforcer {
+	return &WallEnforcer{e: e, clock: clock}
+}
+
+// Clock returns the underlying cycle clock.
+func (w *WallEnforcer) Clock() *CycleClock { return w.clock }
+
+// NextSlot returns the start cycle of the next unissued slot and how long
+// until it opens (non-positive when overdue).
+func (w *WallEnforcer) NextSlot() (slot uint64, wait time.Duration) {
+	w.mu.Lock()
+	slot = w.e.NextSlot()
+	w.mu.Unlock()
+	return slot, w.clock.Until(slot)
+}
+
+// TakeSlot consumes the next slot as a demand or dummy access and returns
+// its start cycle. arrival is the cycle the served request arrived (ignored
+// for dummies).
+func (w *WallEnforcer) TakeSlot(arrival uint64, demand bool) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.e.TakeSlot(arrival, demand)
+}
+
+// Now returns the current cycle.
+func (w *WallEnforcer) Now() uint64 { return w.clock.Now() }
+
+// Rate returns the rate currently in force.
+func (w *WallEnforcer) Rate() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.e.Rate()
+}
+
+// Epoch returns the current epoch index.
+func (w *WallEnforcer) Epoch() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.e.Epoch()
+}
+
+// Stats returns a copy of the enforcer's activity counters.
+func (w *WallEnforcer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.e.Stats()
+}
+
+// RateChanges returns a copy of the epoch transition history — the leaked
+// information, exported so operators can audit exactly what the timing
+// channel has revealed.
+func (w *WallEnforcer) RateChanges() []RateChange {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]RateChange, len(w.e.RateChanges()))
+	copy(out, w.e.RateChanges())
+	return out
+}

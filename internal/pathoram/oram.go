@@ -147,11 +147,34 @@ func (o *ORAM) randomLeaf() uint64 {
 // is the block payload (zeroes if never written). For OpWrite, data must be
 // exactly BlockBytes long.
 func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, error) {
-	if addr >= DummyAddr {
-		return nil, fmt.Errorf("pathoram: address %#x out of range", addr)
-	}
 	if op == OpWrite && len(data) != o.geom.BlockBytes {
 		return nil, fmt.Errorf("pathoram: write payload is %d bytes, want %d", len(data), o.geom.BlockBytes)
+	}
+	var out []byte
+	err := o.Update(addr, func(buf []byte) {
+		switch op {
+		case OpWrite:
+			copy(buf, data)
+		case OpRead:
+			out = make([]byte, o.geom.BlockBytes)
+			copy(out, buf)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Update performs one Path ORAM access that applies fn to the block's
+// payload while it sits in the stash: a read-modify-write in a single path
+// read/write. fn may inspect the current contents (zeroes if never written)
+// and mutate them in place; it must not retain the slice past the call. The
+// server's request coalescing depends on this — a batch of queued reads and
+// writes to one address collapses into one indistinguishable access.
+func (o *ORAM) Update(addr uint64, fn func(data []byte)) error {
+	if addr >= DummyAddr {
+		return fmt.Errorf("pathoram: address %#x out of range", addr)
 	}
 
 	leaf, known := o.posmap.Get(addr)
@@ -164,7 +187,7 @@ func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, error) {
 	o.posmap.Set(addr, newLeaf)
 
 	if err := o.readPath(leaf); err != nil {
-		return nil, err
+		return err
 	}
 
 	blk := o.stash.Get(addr)
@@ -173,21 +196,15 @@ func (o *ORAM) Access(op Op, addr uint64, data []byte) ([]byte, error) {
 		blk = o.stash.Get(addr)
 	}
 	blk.Leaf = newLeaf
-
-	var out []byte
-	switch op {
-	case OpWrite:
-		copy(blk.Data, data)
-	case OpRead:
-		out = make([]byte, o.geom.BlockBytes)
-		copy(out, blk.Data)
+	if fn != nil {
+		fn(blk.Data)
 	}
 
 	if err := o.writePath(leaf); err != nil {
-		return nil, err
+		return err
 	}
 	o.Accesses++
-	return out, nil
+	return nil
 }
 
 // DummyAccess reads and rewrites the path to a uniformly random leaf without

@@ -1,0 +1,77 @@
+package pathoram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tcoram/internal/crypt"
+)
+
+// This file provides the per-shard construction helpers for the concurrent
+// server layer, which partitions a flat address space across N independent
+// single-level ORAMs (the sub-ORAM idea of Stefanov et al.'s partitioned
+// ORAM, applied here for parallelism rather than on-chip space).
+//
+// Shared-state audit — what two ORAM instances may and may not share:
+//
+//   - crypt.Key is a value; instances encrypting under the same key share no
+//     mutable state through it.
+//   - crypt.Cipher carries per-instance CTR scratch and is NOT safe for
+//     concurrent use; NewORAM builds a private Cipher per ORAM, so each
+//     shard owns its own (mirroring one AES pipeline per shard).
+//   - *rand.Rand is mutable and unsynchronized. NewORAM wraps the rng it is
+//     given for both leaf remapping and nonce generation, so two shards must
+//     NEVER be constructed with the same *rand.Rand — NewShardSet derives an
+//     independent deterministic stream per shard.
+//   - ByteStorage, Stash, positionMap, and the scratch buffers are all
+//     built privately inside NewORAM and never escape.
+//
+// Consequently a *ORAM is safe for use from one goroutine at a time, and a
+// set built by NewShardSet is safe for N goroutines, one per shard.
+
+// NewShardSet builds n independent ORAMs with identical geometry, encrypted
+// under the same session key but with independent deterministic RNG streams
+// derived from seed (splitmix64 over the shard index). Identical (g, key,
+// seed) inputs rebuild byte-identical shards, which the server's tests rely
+// on for deterministic routing checks.
+func NewShardSet(n int, g Geometry, key crypt.Key, seed int64) ([]*ORAM, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pathoram: shard count must be positive, got %d", n)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([]*ORAM, n)
+	for i := range shards {
+		o, err := NewORAM(g, key, rand.New(rand.NewSource(shardSeed(seed, i))))
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: building shard %d: %w", i, err)
+		}
+		shards[i] = o
+	}
+	return shards, nil
+}
+
+// shardSeed derives shard i's RNG seed from the set seed via splitmix64, so
+// adjacent shard indices get decorrelated streams.
+func shardSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	s := int64(z)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// ShardGeometry returns the per-shard tree shape for a store of totalBlocks
+// blocks split across n shards: each shard holds ceil(totalBlocks/n) blocks.
+func ShardGeometry(totalBlocks uint64, n int, z, blockBytes int) Geometry {
+	if n < 1 {
+		n = 1
+	}
+	per := (totalBlocks + uint64(n) - 1) / uint64(n)
+	return GeometryForBlocks(per, z, blockBytes)
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrClientClosed is returned for calls on a closed (or failed) client.
+var ErrClientClosed = errors.New("server: client closed")
+
+// Client speaks the daemon's JSON-lines protocol over one TCP connection.
+// It is safe for concurrent use: calls from many goroutines pipeline onto
+// the single connection and are matched back by request id, so a pool of
+// worker goroutines sharing one Client saturates the server the same way
+// independent connections would.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes encoder writes
+	bw  *bufio.Writer
+	enc *json.Encoder
+
+	mu      sync.Mutex
+	pending map[uint64]chan Response
+	err     error // set once the reader exits
+	nextID  atomic.Uint64
+}
+
+// Dial connects to a daemon at addr ("host:port").
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (test hook for net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	bw := bufio.NewWriter(conn)
+	c := &Client{
+		conn:    conn,
+		bw:      bw,
+		enc:     json.NewEncoder(bw),
+		pending: make(map[uint64]chan Response),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop delivers responses to waiting callers until the connection dies,
+// then fails everything still pending.
+func (c *Client) readLoop() {
+	var parseErr error
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			// One garbled line means the framing can no longer be trusted;
+			// skipping it would leave its caller blocked forever. Tear the
+			// connection down and fail everything pending instead.
+			parseErr = fmt.Errorf("server: malformed response line: %w", err)
+			break
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	err := parseErr
+	if err == nil {
+		err = sc.Err()
+	}
+	if err == nil {
+		err = ErrClientClosed
+	}
+	if parseErr != nil {
+		c.conn.Close()
+	}
+	c.mu.Lock()
+	c.err = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- Response{ID: id, OK: false, Err: err.Error()}
+	}
+	c.mu.Unlock()
+}
+
+// do sends one request and waits for its response.
+func (c *Client) do(req Request) (Response, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan Response, 1)
+
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, err
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := c.enc.Encode(&req)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return Response{}, err
+	}
+
+	resp := <-ch
+	if !resp.OK {
+		return resp, fmt.Errorf("server: remote error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Read fetches a block.
+func (c *Client) Read(addr uint64) ([]byte, error) {
+	resp, err := c.do(Request{Op: OpRead, Addr: addr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Data, nil
+}
+
+// Write stores a block.
+func (c *Client) Write(addr uint64, data []byte) error {
+	_, err := c.do(Request{Op: OpWrite, Addr: addr, Data: data})
+	return err
+}
+
+// Stats fetches the server's per-shard counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.do(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, errors.New("server: stats response missing payload")
+	}
+	return *resp.Stats, nil
+}
+
+// Ping round-trips a no-op message.
+func (c *Client) Ping() error {
+	_, err := c.do(Request{Op: OpPing})
+	return err
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	return c.conn.Close()
+}

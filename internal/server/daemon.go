@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// maxLineBytes bounds one protocol line; a write of a 64 KB block base64-
+// encodes to well under this.
+const maxLineBytes = 1 << 20
+
+// connConcurrency bounds the number of in-flight requests the daemon will
+// hold per connection; beyond it, reading from the connection pauses
+// (backpressure on top of the per-shard queues).
+const connConcurrency = 256
+
+// Serve accepts connections on l and speaks the JSON-lines protocol against
+// st until the listener is closed (or fails), then returns the accept
+// error. Connection handlers drain independently; Serve does not wait for
+// them.
+func Serve(l net.Listener, st *Store) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go HandleConn(conn, st)
+	}
+}
+
+// HandleConn runs one connection to completion. Exported so tests and
+// in-process harnesses can serve a net.Pipe or a single accepted socket.
+func HandleConn(conn net.Conn, st *Store) {
+	defer conn.Close()
+
+	out := make(chan Response, connConcurrency)
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		bw := bufio.NewWriter(conn)
+		enc := json.NewEncoder(bw)
+		dead := false
+		for resp := range out {
+			// After a write failure, keep draining so dispatch workers
+			// blocked on `out` can finish and HandleConn can tear down —
+			// exiting here would deadlock them against a full channel.
+			if dead {
+				continue
+			}
+			if err := enc.Encode(&resp); err != nil {
+				dead = true
+				conn.Close() // also unblocks the scanner
+				continue
+			}
+			// Flush when the queue is momentarily empty so pipelined bursts
+			// batch into few syscalls but single responses aren't delayed.
+			if len(out) == 0 {
+				if err := bw.Flush(); err != nil {
+					dead = true
+					conn.Close()
+					continue
+				}
+			}
+		}
+		if !dead {
+			bw.Flush()
+		}
+	}()
+
+	var inflight sync.WaitGroup
+	sem := make(chan struct{}, connConcurrency)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: bad request: %v", err)}
+			continue
+		}
+		switch req.Op {
+		case OpPing:
+			out <- Response{ID: req.ID, OK: true}
+		case OpStats:
+			stats := st.Stats()
+			out <- Response{ID: req.ID, OK: true, Stats: &stats}
+		case OpRead, OpWrite:
+			sem <- struct{}{}
+			inflight.Add(1)
+			go func(req Request) {
+				defer inflight.Done()
+				defer func() { <-sem }()
+				out <- dispatch(st, req)
+			}(req)
+		default:
+			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: unknown op %q", req.Op)}
+		}
+	}
+	inflight.Wait()
+	close(out)
+	writer.Wait()
+}
+
+// dispatch executes one blocking data op against the store.
+func dispatch(st *Store, req Request) Response {
+	switch req.Op {
+	case OpRead:
+		data, err := st.Read(req.Addr)
+		if err != nil {
+			return Response{ID: req.ID, OK: false, Err: err.Error()}
+		}
+		return Response{ID: req.ID, OK: true, Data: data}
+	case OpWrite:
+		if err := st.Write(req.Addr, req.Data); err != nil {
+			return Response{ID: req.ID, OK: false, Err: err.Error()}
+		}
+		return Response{ID: req.ID, OK: true}
+	}
+	return Response{ID: req.ID, OK: false, Err: "server: unreachable op"}
+}
+
+// IsClosedErr reports whether err is the uninteresting error a listener
+// returns when shut down deliberately.
+func IsClosedErr(err error) bool {
+	return err == nil || errors.Is(err, net.ErrClosed)
+}

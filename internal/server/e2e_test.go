@@ -1,0 +1,185 @@
+package server
+
+import (
+	"net"
+	"testing"
+
+	"tcoram/internal/workload"
+)
+
+// startDaemon serves a store on an ephemeral TCP port and returns its
+// address. The listener dies with the test.
+func startDaemon(t *testing.T, cfg Config) (*Store, string) {
+	t.Helper()
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	go Serve(l, st)
+	t.Cleanup(func() {
+		l.Close()
+		st.Close()
+	})
+	return st, l.Addr().String()
+}
+
+// TestEndToEndAllScenarios is the acceptance run: loadgen over TCP against
+// an in-process oramd with 4 shards and 8 concurrent clients completes
+// every scenario with zero lost and zero corrupted reads.
+func TestEndToEndAllScenarios(t *testing.T) {
+	// 2 ms slot period per shard: fast enough that 4 shards serve 800 ops
+	// in about a second, slow enough that four pacing loops plus eight
+	// clients don't saturate a 1-vCPU CI box under the race detector
+	// (where one ORAM access costs tens of µs).
+	cfg := Config{
+		Shards:      4,
+		Blocks:      1024,
+		BlockBytes:  64,
+		ClockHz:     1_000_000,
+		ORAMLatency: 200,
+		Rates:       []uint64{1800},
+	}
+	_, addr := startDaemon(t, cfg)
+
+	statsClient, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsClient.Close()
+
+	for _, sc := range workload.KVScenarios() {
+		sc := sc
+		t.Run(string(sc), func(t *testing.T) {
+			rep, err := RunLoad(
+				func() (KV, error) { return Dial(addr) },
+				func() (Stats, error) { return statsClient.Stats() },
+				LoadConfig{
+					Scenario:     sc,
+					Clients:      8,
+					OpsPerClient: 100,
+					Blocks:       cfg.Blocks,
+					BlockBytes:   cfg.BlockBytes,
+					Seed:         42,
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Lost != 0 {
+				t.Errorf("%s: %d lost requests", sc, rep.Lost)
+			}
+			if rep.Corrupted != 0 {
+				t.Errorf("%s: %d corrupted reads", sc, rep.Corrupted)
+			}
+			if rep.Ops != 800 {
+				t.Errorf("%s: completed %d ops, want 800", sc, rep.Ops)
+			}
+			if rep.RealAccesses == 0 {
+				t.Errorf("%s: no real ORAM accesses recorded", sc)
+			}
+			if rep.Latency.P50 <= 0 || rep.Latency.Max < rep.Latency.P99 {
+				t.Errorf("%s: implausible latency summary %+v", sc, rep.Latency)
+			}
+			if rep.Throughput() <= 0 {
+				t.Errorf("%s: zero throughput", sc)
+			}
+		})
+	}
+
+	// The paced server keeps its grid running between and during scenarios,
+	// so some slots must have carried dummies overall.
+	stats, err := statsClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dummy, _ := stats.Totals()
+	if dummy == 0 {
+		t.Error("no dummy accesses across the whole run — pacing inactive?")
+	}
+	for _, sh := range stats.Shards {
+		if sh.Failed {
+			t.Errorf("shard %d reported failure", sh.Shard)
+		}
+	}
+}
+
+// TestDaemonProtocolErrors exercises malformed input and error mapping over
+// a real socket.
+func TestDaemonProtocolErrors(t *testing.T) {
+	_, addr := startDaemon(t, Config{
+		Shards: 2, Blocks: 64, BlockBytes: 64,
+		ClockHz: 1_000_000, ORAMLatency: 200, Rates: []uint64{800},
+	})
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, err := c.Read(9999); err == nil {
+		t.Error("out-of-range read succeeded over the wire")
+	}
+	// The connection survives request-level errors.
+	if err := c.Write(3, []byte("ok")); err != nil {
+		t.Fatalf("write after error: %v", err)
+	}
+	got, err := c.Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:2]) != "ok" {
+		t.Fatalf("read back %q", got[:2])
+	}
+
+	// Raw garbage on a fresh socket gets an error response, not a hang.
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if _, err := raw.Write([]byte("not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, err := raw.Read(buf)
+	if err != nil || n == 0 {
+		t.Fatalf("no response to garbage: n=%d err=%v", n, err)
+	}
+}
+
+// TestClientPipelining: one shared client, many goroutines — the id
+// matching must route every response to its caller.
+func TestClientPipelining(t *testing.T) {
+	_, addr := startDaemon(t, Config{
+		Shards: 4, Blocks: 1024, BlockBytes: 64,
+		ClockHz: 1_000_000, ORAMLatency: 200, Rates: []uint64{800},
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rep, err := RunLoad(
+		func() (KV, error) { return c, nil }, // every "client" shares one conn
+		func() (Stats, error) { return c.Stats() },
+		LoadConfig{Scenario: workload.KVUniform, Clients: 8, OpsPerClient: 50,
+			Blocks: 1024, BlockBytes: 64, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lost != 0 || rep.Corrupted != 0 {
+		t.Fatalf("shared-connection run lost=%d corrupted=%d", rep.Lost, rep.Corrupted)
+	}
+	if rep.Ops != 400 {
+		t.Fatalf("ops = %d, want 400", rep.Ops)
+	}
+}

@@ -1,0 +1,361 @@
+// Package server is the concurrent, sharded ORAM key-value service: the
+// first layer of this codebase that serves real wall-clock traffic instead
+// of simulated cycles. It partitions a flat block address space across N
+// independent Path ORAM shards (the partitioning idea of Stefanov et al.'s
+// "Towards Practical Oblivious RAM", applied for parallelism), gives each
+// shard its own goroutine, request queue and rate enforcer, and exposes a
+// batching Read/Write/Stats front end.
+//
+// Security model, inherited from the paper's memory controller:
+//
+//   - Each shard issues ORAM accesses on a fixed slot grid driven by a
+//     core.Enforcer through a wall-clock adapter. When no request is queued
+//     at a slot, the shard performs an indistinguishable dummy access, so
+//     per-shard bus traffic is data-independent (up to the enforcer's
+//     bounded epoch-boundary leakage when a dynamic schedule is used).
+//   - Routing is a deterministic, data-independent function of the block
+//     address (addr mod shards), so which shard serves a request reveals
+//     nothing beyond the address stream the ORAM already hides.
+//   - In-flight requests to the same block coalesce into one access, which
+//     reduces queueing without changing the observable slot grid.
+//
+// The Unpaced mode disables the enforcer (slots fire as fast as requests
+// arrive, no dummies) — the base_oram configuration of §9.1.6, kept for
+// capacity benchmarking; it leaks timing exactly the way the paper's
+// unshielded baseline does.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tcoram/internal/core"
+	"tcoram/internal/crypt"
+	"tcoram/internal/pathoram"
+)
+
+// ErrClosed is returned for requests submitted to (or pending in) a store
+// that has been closed.
+var ErrClosed = errors.New("server: store closed")
+
+// Config describes a sharded ORAM store.
+type Config struct {
+	// Shards is the number of independent sub-ORAMs (default 4).
+	Shards int
+	// Blocks is the total address space in blocks (default 4096).
+	Blocks uint64
+	// BlockBytes is the payload size of one block (default 64, the paper's
+	// cache-line-sized data block).
+	BlockBytes int
+	// Z is the bucket capacity (default 3, per the paper).
+	Z int
+	// QueueDepth bounds each shard's pending-request queue; submitters
+	// block when it is full (default 256).
+	QueueDepth int
+	// Key encrypts all shards (zero value is acceptable for tests).
+	Key crypt.Key
+	// Seed drives the deterministic per-shard RNG streams (default 1).
+	Seed int64
+
+	// ClockHz is the wall-clock frequency of the enforcer's cycle domain in
+	// cycles per second (default 1_000_000: one cycle per microsecond).
+	ClockHz uint64
+	// ORAMLatency is OLAT in cycles (default 15 ≈ the software access cost
+	// at the default clock).
+	ORAMLatency uint64
+	// Rates is the allowed rate set R in cycles, ascending. Default
+	// {85}: a static 100 µs slot period (rate + OLAT) per shard.
+	Rates []uint64
+	// InitialRate is the epoch-0 rate (default: last element of Rates).
+	InitialRate uint64
+	// EpochFirstLen and EpochGrowth enable the paper's dynamic epoch
+	// schedule when EpochFirstLen > 0; zero values mean a static rate.
+	EpochFirstLen uint64
+	EpochGrowth   uint64
+
+	// Unpaced disables rate enforcement entirely (no slot grid, no
+	// dummies): the unshielded base_oram mode, for capacity measurement.
+	Unpaced bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 4096
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 64
+	}
+	if c.Z == 0 {
+		c.Z = 3
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 1_000_000
+	}
+	if c.ORAMLatency == 0 {
+		c.ORAMLatency = 15
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []uint64{85}
+	}
+	if c.InitialRate == 0 {
+		c.InitialRate = c.Rates[len(c.Rates)-1]
+	}
+	if c.EpochFirstLen > 0 && c.EpochGrowth == 0 {
+		c.EpochGrowth = 4
+	}
+	return c
+}
+
+// maxWireBlockBytes is the largest block payload whose base64 encoding
+// (plus JSON framing slack) still fits the protocol's maxLineBytes, so a
+// daemon can never be configured into silently dropping every connection
+// with ErrTooLong.
+const maxWireBlockBytes = (maxLineBytes - 1024) / 4 * 3
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("server: Shards must be positive, got %d", c.Shards)
+	}
+	if c.Blocks == 0 {
+		return fmt.Errorf("server: Blocks must be positive")
+	}
+	if c.BlockBytes < 1 {
+		return fmt.Errorf("server: BlockBytes must be positive")
+	}
+	if c.BlockBytes > maxWireBlockBytes {
+		return fmt.Errorf("server: BlockBytes %d exceeds the wire protocol's %d-byte limit", c.BlockBytes, maxWireBlockBytes)
+	}
+	return nil
+}
+
+// Store is the sharded concurrent ORAM key-value service. All exported
+// methods are safe for concurrent use.
+type Store struct {
+	cfg    Config
+	shards []*shard
+
+	mu     sync.RWMutex // guards closed against in-flight submits
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New builds a store and starts one serving goroutine per shard. The
+// returned store is serving immediately; paced shards begin emitting dummy
+// accesses on their slot grid even before the first request arrives.
+func New(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom := pathoram.ShardGeometry(cfg.Blocks, cfg.Shards, cfg.Z, cfg.BlockBytes)
+	orams, err := pathoram.NewShardSet(cfg.Shards, geom, cfg.Key, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{cfg: cfg, stop: make(chan struct{})}
+	for i, o := range orams {
+		sh, err := newShard(i, o, cfg, st.stop)
+		if err != nil {
+			return nil, err
+		}
+		st.shards = append(st.shards, sh)
+	}
+	for _, sh := range st.shards {
+		st.wg.Add(1)
+		go func(sh *shard) {
+			defer st.wg.Done()
+			sh.run()
+		}(sh)
+	}
+	return st, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// ShardOf returns the shard serving addr: a deterministic,
+// data-independent routing function. Modulo routing spreads sequential
+// scans round-robin across shards, which keeps per-shard load flat for
+// every scenario the load generator ships.
+func (s *Store) ShardOf(addr uint64) int {
+	return int(addr % uint64(s.cfg.Shards))
+}
+
+// localAddr converts a global block address to the shard-local one.
+func (s *Store) localAddr(addr uint64) uint64 {
+	return addr / uint64(s.cfg.Shards)
+}
+
+// Read returns a copy of the block's contents (zeroes if never written).
+// It blocks until a slot on the owning shard serves the request.
+func (s *Store) Read(addr uint64) ([]byte, error) {
+	req := &request{addr: addr, resp: make(chan result, 1)}
+	if err := s.submit(req); err != nil {
+		return nil, err
+	}
+	res := <-req.resp
+	return res.data, res.err
+}
+
+// Write stores data into the block. len(data) must not exceed BlockBytes;
+// shorter payloads are zero-padded. It blocks until a slot serves the
+// request.
+func (s *Store) Write(addr uint64, data []byte) error {
+	if len(data) > s.cfg.BlockBytes {
+		return fmt.Errorf("server: payload is %d bytes, block is %d", len(data), s.cfg.BlockBytes)
+	}
+	buf := make([]byte, s.cfg.BlockBytes)
+	copy(buf, data)
+	req := &request{addr: addr, write: true, data: buf, resp: make(chan result, 1)}
+	if err := s.submit(req); err != nil {
+		return err
+	}
+	res := <-req.resp
+	return res.err
+}
+
+// submit validates and routes a request to its shard's queue, blocking when
+// the queue is full (backpressure).
+func (s *Store) submit(req *request) error {
+	if req.addr >= s.cfg.Blocks {
+		return fmt.Errorf("server: address %d out of range (%d blocks)", req.addr, s.cfg.Blocks)
+	}
+	sh := s.shards[s.ShardOf(req.addr)]
+	req.local = s.localAddr(req.addr)
+	if sh.enf != nil {
+		req.arrival = sh.enf.Now()
+	}
+	// The closed check and the enqueue happen under the read lock so Close
+	// cannot declare the queues drained while a submit is in flight.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	sh.depth.Add(1)
+	sh.queue <- req
+	s.mu.RUnlock()
+	return nil
+}
+
+// Stats returns a snapshot of per-shard activity.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Shards:     make([]ShardStats, len(s.shards)),
+		Blocks:     s.cfg.Blocks,
+		BlockBytes: s.cfg.BlockBytes,
+	}
+	for i, sh := range s.shards {
+		st.Shards[i] = sh.stats()
+	}
+	return st
+}
+
+// Close stops all shard goroutines, fails any still-queued requests with
+// ErrClosed, and returns once every goroutine has exited. Close is
+// idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	// No submitter can be mid-enqueue now (closed was set under the write
+	// lock), so draining what remains is race-free.
+	for _, sh := range s.shards {
+		sh.drain()
+	}
+	return nil
+}
+
+// Stats aggregates the per-shard counters the service exposes.
+type Stats struct {
+	Shards     []ShardStats `json:"shards"`
+	Blocks     uint64       `json:"blocks"`
+	BlockBytes int          `json:"block_bytes"`
+}
+
+// ShardStats is one shard's activity snapshot.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	// Queue is the number of requests submitted but not yet completed.
+	Queue int `json:"queue"`
+	// RealAccesses and DummyAccesses count issued ORAM accesses by kind;
+	// their ratio is the paper's dummy-fraction metric observed on live
+	// traffic.
+	RealAccesses  uint64 `json:"real_accesses"`
+	DummyAccesses uint64 `json:"dummy_accesses"`
+	// Coalesced counts requests that were absorbed into another request's
+	// access (same block, in flight together).
+	Coalesced uint64 `json:"coalesced"`
+	// Rate and Epoch mirror the shard enforcer's public state (zero in
+	// Unpaced mode).
+	Rate  uint64 `json:"rate"`
+	Epoch int    `json:"epoch"`
+	// StashPeak is the largest stash occupancy the shard has seen.
+	StashPeak int `json:"stash_peak"`
+	// Failed reports that the shard's ORAM hit an unrecoverable error and
+	// the shard now rejects all requests (monitoring hook).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Totals sums access counts across shards.
+func (s Stats) Totals() (real, dummy, coalesced uint64) {
+	for _, sh := range s.Shards {
+		real += sh.RealAccesses
+		dummy += sh.DummyAccesses
+		coalesced += sh.Coalesced
+	}
+	return
+}
+
+// DummyFraction is the observed share of accesses that were dummies.
+func (s Stats) DummyFraction() float64 {
+	real, dummy, _ := s.Totals()
+	if real+dummy == 0 {
+		return 0
+	}
+	return float64(dummy) / float64(real+dummy)
+}
+
+// enforcerFor builds the per-shard enforcer stack from the store config, or
+// nil in Unpaced mode.
+func enforcerFor(cfg Config) (*core.WallEnforcer, error) {
+	if cfg.Unpaced {
+		return nil, nil
+	}
+	ecfg := core.EnforcerConfig{
+		ORAMLatency: cfg.ORAMLatency,
+		Rates:       cfg.Rates,
+		InitialRate: cfg.InitialRate,
+	}
+	if cfg.EpochFirstLen > 0 {
+		ecfg.Schedule = core.EpochSchedule{FirstLen: cfg.EpochFirstLen, Growth: cfg.EpochGrowth}
+	}
+	e, err := core.NewEnforcer(ecfg)
+	if err != nil {
+		return nil, err
+	}
+	clock, err := core.NewCycleClock(cfg.ClockHz)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewWallEnforcer(e, clock), nil
+}

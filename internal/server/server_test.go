@@ -1,0 +1,458 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastConfig paces at a 500 µs slot period — fast enough that tests finish
+// promptly, slow enough that the pacing loops never saturate a 1-vCPU CI
+// box (an access on this small tree costs a few µs, tens under -race).
+func fastConfig(shards int) Config {
+	return Config{
+		Shards:      shards,
+		Blocks:      1024,
+		BlockBytes:  64,
+		QueueDepth:  64,
+		ClockHz:     1_000_000,
+		ORAMLatency: 20,
+		Rates:       []uint64{480},
+	}
+}
+
+func TestShardRoutingDeterministic(t *testing.T) {
+	st, err := New(fastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	counts := make([]int, 4)
+	for addr := uint64(0); addr < 1024; addr++ {
+		a, b := st.ShardOf(addr), st.ShardOf(addr)
+		if a != b {
+			t.Fatalf("routing for %d not deterministic: %d vs %d", addr, a, b)
+		}
+		if a != int(addr%4) {
+			t.Fatalf("ShardOf(%d) = %d, want %d", addr, a, addr%4)
+		}
+		counts[a]++
+	}
+	for i, c := range counts {
+		if c != 256 {
+			t.Errorf("shard %d owns %d blocks, want 256", i, c)
+		}
+	}
+}
+
+func TestReadYourWrites(t *testing.T) {
+	st, err := New(fastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	for addr := uint64(0); addr < 64; addr++ {
+		want := make([]byte, 64)
+		FillPayload(want, addr, 0, addr)
+		if err := st.Write(addr, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: read %x, want %x", addr, got[:16], want[:16])
+		}
+	}
+
+	// Unwritten blocks read as zeroes.
+	got, err := st.Read(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatalf("unwritten block not zero: %x", got[:16])
+	}
+
+	// Out-of-range and oversized requests fail cleanly.
+	if _, err := st.Read(4096); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+	if err := st.Write(0, make([]byte, 65)); err == nil {
+		t.Error("oversized write accepted")
+	}
+}
+
+// TestConcurrentDisjointClients: many goroutines on disjoint key ranges;
+// every read-after-write must return the exact payload (run under -race in
+// CI).
+func TestConcurrentDisjointClients(t *testing.T) {
+	st, err := New(fastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const clients = 8
+	const perClient = 40
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			base := uint64(cl) * 128
+			buf := make([]byte, 64)
+			for i := 0; i < perClient; i++ {
+				addr := base + uint64(i%32)
+				FillPayload(buf, addr, uint32(cl), uint64(i))
+				if err := st.Write(addr, buf); err != nil {
+					t.Errorf("client %d write %d: %v", cl, addr, err)
+					return
+				}
+				got, err := st.Read(addr)
+				if err != nil {
+					t.Errorf("client %d read %d: %v", cl, addr, err)
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					t.Errorf("client %d block %d: read %x want %x", cl, addr, got[:16], buf[:16])
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+}
+
+// TestConcurrentOverlappingClients: goroutines hammer a small shared key
+// set; reads must always surface a well-formed payload for the right block
+// (no torn or cross-block data), even though which write wins is racy.
+func TestConcurrentOverlappingClients(t *testing.T) {
+	st, err := New(fastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < 50; i++ {
+				addr := uint64((cl + i) % 16) // heavy overlap
+				if i%2 == 0 {
+					FillPayload(buf, addr, uint32(cl), uint64(i))
+					if err := st.Write(addr, buf); err != nil {
+						t.Errorf("write: %v", err)
+						return
+					}
+				} else {
+					got, err := st.Read(addr)
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					if err := CheckPayload(got, addr); err != nil {
+						t.Errorf("block %d corrupted: %v", addr, err)
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+}
+
+// TestIdlePacingEmitsDummies is the satellite pacing test: an idle paced
+// shard must issue dummy accesses on its slot grid at the configured rate.
+// The loop's catch-up behaviour makes the issued count track wall time
+// even when the goroutine is scheduled late, so the bound is two-sided.
+func TestIdlePacingEmitsDummies(t *testing.T) {
+	cfg := Config{
+		Shards:      2,
+		Blocks:      256,
+		BlockBytes:  64,
+		ClockHz:     1_000_000, // 1 cycle = 1 µs
+		ORAMLatency: 100,
+		Rates:       []uint64{900}, // slot period 1000 cycles = 1 ms
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const wait = 300 * time.Millisecond
+	time.Sleep(wait)
+	stats := st.Stats()
+
+	period := time.Duration(cfg.Rates[0]+cfg.ORAMLatency) * time.Microsecond
+	expected := float64(wait) / float64(period) // ≈ 300
+	for _, sh := range stats.Shards {
+		if sh.RealAccesses != 0 {
+			t.Errorf("shard %d issued %d real accesses while idle", sh.Shard, sh.RealAccesses)
+		}
+		got := float64(sh.DummyAccesses)
+		if got < expected*0.5 || got > expected*1.5 {
+			t.Errorf("shard %d: %v dummies in %v, want ≈%.0f (±50%%)", sh.Shard, got, wait, expected)
+		}
+		if sh.Rate != cfg.Rates[0] {
+			t.Errorf("shard %d rate = %d, want %d", sh.Shard, sh.Rate, cfg.Rates[0])
+		}
+	}
+	if f := stats.DummyFraction(); f != 1 {
+		t.Errorf("idle dummy fraction = %v, want 1", f)
+	}
+}
+
+// TestCoalescing: requests queued for the same block while a slow slot grid
+// holds them must collapse into one access, and queued reads must observe
+// the queued write that precedes them.
+func TestCoalescing(t *testing.T) {
+	cfg := Config{
+		Shards:      1,
+		Blocks:      64,
+		BlockBytes:  64,
+		ClockHz:     1_000_000,
+		ORAMLatency: 5_000,
+		Rates:       []uint64{45_000}, // 50 ms slot period: plenty to pile up
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want := make([]byte, 64)
+	FillPayload(want, 7, 9, 1)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 5)
+	datas := make([][]byte, 5)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[0] = st.Write(7, want)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the write enqueue first
+	for i := 1; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			datas[i], errs[i] = st.Read(7)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if !bytes.Equal(datas[i], want) {
+			t.Fatalf("coalesced read %d got %x, want %x", i, datas[i][:16], want[:16])
+		}
+	}
+	stats := st.Stats()
+	real, _, coalesced := stats.Totals()
+	if coalesced < 3 {
+		t.Errorf("coalesced = %d, want ≥ 3 (5 same-block requests)", coalesced)
+	}
+	if real > 2 {
+		t.Errorf("5 same-block requests cost %d real accesses, want ≤ 2", real)
+	}
+}
+
+func TestCloseFailsPendingAndFutureRequests(t *testing.T) {
+	cfg := Config{
+		Shards:      1,
+		Blocks:      64,
+		BlockBytes:  64,
+		ClockHz:     1_000_000,
+		ORAMLatency: 50_000,
+		Rates:       []uint64{950_000}, // 1 s period: requests stay queued
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		_, err := st.Read(3)
+		got <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != ErrClosed {
+			t.Fatalf("pending read returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending read not failed by Close")
+	}
+	if _, err := st.Read(3); err != ErrClosed {
+		t.Fatalf("post-close read returned %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestUnpacedMode(t *testing.T) {
+	st, err := New(Config{Shards: 2, Blocks: 256, BlockBytes: 64, Unpaced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	buf := make([]byte, 64)
+	for i := uint64(0); i < 32; i++ {
+		FillPayload(buf, i, 1, i)
+		if err := st.Write(i, buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPayload(got, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := st.Stats()
+	real, dummy, _ := stats.Totals()
+	if dummy != 0 {
+		t.Errorf("unpaced mode issued %d dummies", dummy)
+	}
+	if real != 64 {
+		t.Errorf("real accesses = %d, want 64", real)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	st, err := New(fastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Write(5, []byte("hello")); err != nil { // short write pads
+		t.Fatal(err)
+	}
+	got, err := st.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatalf("short write round-trip: %q", got[:5])
+	}
+	stats := st.Stats()
+	if len(stats.Shards) != 4 || stats.Blocks != 1024 || stats.BlockBytes != 64 {
+		t.Fatalf("stats header wrong: %+v", stats)
+	}
+	real, _, _ := stats.Totals()
+	if real < 2 {
+		t.Fatalf("real accesses = %d, want ≥ 2", real)
+	}
+	if stats.Shards[st.ShardOf(5)].RealAccesses < 2 {
+		t.Fatalf("owning shard shows %d real accesses", stats.Shards[st.ShardOf(5)].RealAccesses)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Shards: -1}); err == nil {
+		t.Error("negative shards accepted")
+	}
+	cfg := Config{Rates: []uint64{100, 50}} // not ascending
+	if _, err := New(cfg); err == nil {
+		t.Error("descending rate set accepted")
+	}
+	if _, err := New(Config{BlockBytes: 1 << 20}); err == nil {
+		t.Error("BlockBytes beyond the wire line limit accepted")
+	}
+}
+
+// TestDynamicScheduleAdaptsRate: with the paper's epoch learner behind the
+// wall-clock adapter, a saturating workload should hold or raise the rate
+// across epoch transitions without ever corrupting data.
+func TestDynamicScheduleAdaptsRate(t *testing.T) {
+	cfg := Config{
+		Shards:        2,
+		Blocks:        256,
+		BlockBytes:    64,
+		ClockHz:       1_000_000,
+		ORAMLatency:   5,
+		Rates:         []uint64{45, 195, 495},
+		InitialRate:   495,
+		EpochFirstLen: 20_000, // 20 ms epochs, growth 4
+		EpochGrowth:   4,
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	var i uint64
+	for time.Now().Before(deadline) {
+		addr := i % 256
+		FillPayload(buf, addr, 0, i)
+		if err := st.Write(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckPayload(got, addr); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	stats := st.Stats()
+	for _, sh := range stats.Shards {
+		if sh.Epoch == 0 {
+			t.Errorf("shard %d never left epoch 0 in 400 ms of 20 ms epochs", sh.Shard)
+		}
+		found := false
+		for _, r := range cfg.Rates {
+			if sh.Rate == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shard %d rate %d not in the allowed set %v", sh.Shard, sh.Rate, cfg.Rates)
+		}
+	}
+}
+
+func TestStoreImplementsKV(t *testing.T) {
+	var _ KV = (*Store)(nil)
+	var _ KV = (*Client)(nil)
+}
+
+func TestShardStatsString(t *testing.T) {
+	// Ensure the stats marshal cleanly for the daemon's stats op.
+	st, err := New(fastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	s := st.Stats()
+	if got := fmt.Sprintf("%d", len(s.Shards)); got != "2" {
+		t.Fatalf("shards = %s", got)
+	}
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"tcoram/internal/core"
+	"tcoram/internal/pathoram"
+)
+
+// request is one queued Read or Write, expressed in shard-local terms.
+type request struct {
+	addr    uint64 // global address (for error messages)
+	local   uint64 // shard-local block address
+	write   bool
+	data    []byte // write payload, already padded to BlockBytes
+	out     []byte // read result, filled by the serving shard
+	arrival uint64 // enforcer cycle at submission (paced mode)
+	resp    chan result
+}
+
+type result struct {
+	data []byte
+	err  error
+}
+
+// shard owns one sub-ORAM. Exactly one goroutine (run) touches the ORAM and
+// the enforcer's slot-consuming side; every cross-goroutine quantity is an
+// atomic. The pacing loop realizes the paper's controller in wall time:
+// sleep until the next slot of the data-independent grid opens, then serve
+// the queue head (coalescing same-block requests) or issue a dummy access.
+type shard struct {
+	id    int
+	oram  *pathoram.ORAM
+	enf   *core.WallEnforcer // nil in Unpaced mode
+	queue chan *request
+	fifo  []*request // drained requests awaiting slots (loop-private)
+	stop  chan struct{}
+
+	// Cross-goroutine stats.
+	reals     atomic.Uint64
+	dummies   atomic.Uint64
+	coalesced atomic.Uint64
+	depth     atomic.Int64 // submitted but not yet completed
+	stashPeak atomic.Int64
+	rate      atomic.Uint64
+	epoch     atomic.Int64
+	failed    atomic.Bool // the shard's ORAM errored; it now rejects everything
+
+	// group is scratch for coalescing (loop-private).
+	group []*request
+}
+
+func newShard(id int, o *pathoram.ORAM, cfg Config, stop chan struct{}) (*shard, error) {
+	enf, err := enforcerFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sh := &shard{
+		id:    id,
+		oram:  o,
+		enf:   enf,
+		queue: make(chan *request, cfg.QueueDepth),
+		stop:  stop,
+	}
+	if enf != nil {
+		sh.rate.Store(enf.Rate())
+	}
+	return sh, nil
+}
+
+// run serves the shard until the store closes.
+func (sh *shard) run() {
+	if sh.enf == nil {
+		sh.runUnpaced()
+		return
+	}
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		slot, wait := sh.enf.NextSlot()
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-sh.stop:
+				return
+			case <-timer.C:
+			}
+		} else {
+			// The grid is overdue (we were busy or the host stalled):
+			// consume slots back-to-back until it catches up with wall
+			// time, so the issued access count matches the schedule.
+			select {
+			case <-sh.stop:
+				return
+			default:
+			}
+		}
+		sh.fill()
+		if len(sh.fifo) == 0 {
+			sh.enf.TakeSlot(slot, false)
+			if err := sh.oram.DummyAccess(); err != nil {
+				sh.fail(err)
+				return
+			}
+			sh.dummies.Add(1)
+		} else {
+			head := sh.takeGroup()
+			sh.enf.TakeSlot(head, true)
+			if err := sh.serveGroup(); err != nil {
+				sh.fail(err)
+				return
+			}
+			sh.reals.Add(1)
+		}
+		sh.publishStats()
+	}
+}
+
+// runUnpaced serves requests immediately with no slot grid and no dummies —
+// the unshielded base_oram mode.
+func (sh *shard) runUnpaced() {
+	for {
+		select {
+		case <-sh.stop:
+			return
+		case req := <-sh.queue:
+			sh.fifo = append(sh.fifo, req)
+			sh.fill()
+			for len(sh.fifo) > 0 {
+				sh.takeGroup()
+				if err := sh.serveGroup(); err != nil {
+					sh.fail(err)
+					return
+				}
+				sh.reals.Add(1)
+			}
+			sh.publishStats()
+		}
+	}
+}
+
+// fail is the shard's terminal state after an ORAM error (storage/cipher
+// corruption): every queued and future request is completed with the error
+// until the store closes. Continuing to consume the queue matters — a
+// silently dead shard would leave submitters blocked on a full queue while
+// holding the store's read lock, which would in turn deadlock Close.
+func (sh *shard) fail(err error) {
+	sh.failed.Store(true)
+	for _, req := range sh.fifo {
+		sh.complete(req, result{err: err})
+	}
+	sh.fifo = nil
+	for {
+		select {
+		case <-sh.stop:
+			return
+		case req := <-sh.queue:
+			sh.complete(req, result{err: err})
+		}
+	}
+}
+
+// fill drains the submission queue into the loop-private FIFO without
+// blocking.
+func (sh *shard) fill() {
+	for {
+		select {
+		case req := <-sh.queue:
+			sh.fifo = append(sh.fifo, req)
+		default:
+			return
+		}
+	}
+}
+
+// takeGroup removes the FIFO head plus every queued request for the same
+// block (coalescing), preserving the order of both the group and the
+// remaining FIFO. It returns the head's arrival cycle.
+func (sh *shard) takeGroup() (arrival uint64) {
+	head := sh.fifo[0]
+	sh.group = sh.group[:0]
+	sh.group = append(sh.group, head)
+	keep := sh.fifo[:1][:0] // filter in place over the same backing array
+	for _, req := range sh.fifo[1:] {
+		if req.local == head.local {
+			sh.group = append(sh.group, req)
+		} else {
+			keep = append(keep, req)
+		}
+	}
+	// Clear the tail so completed requests don't pin their buffers.
+	for i := len(keep); i < len(sh.fifo); i++ {
+		sh.fifo[i] = nil
+	}
+	sh.fifo = keep
+	if n := len(sh.group) - 1; n > 0 {
+		sh.coalesced.Add(uint64(n))
+	}
+	return head.arrival
+}
+
+// serveGroup applies the coalesced group in arrival order within a single
+// ORAM access: reads observe all earlier queued writes, exactly as if each
+// request had run in its own (serialized) access. The group is always
+// completed (with the error, if any); a non-nil return means the ORAM
+// itself is broken and the shard must stop serving.
+func (sh *shard) serveGroup() error {
+	err := sh.oram.Update(sh.group[0].local, func(data []byte) {
+		for _, req := range sh.group {
+			if req.write {
+				copy(data, req.data)
+			} else {
+				out := make([]byte, len(data))
+				copy(out, data)
+				req.out = out
+			}
+		}
+	})
+	for _, req := range sh.group {
+		if err != nil {
+			sh.complete(req, result{err: err})
+		} else if req.write {
+			sh.complete(req, result{})
+		} else {
+			sh.complete(req, result{data: req.out})
+		}
+	}
+	sh.group = sh.group[:0]
+	return err
+}
+
+// complete delivers a result and releases the request's depth slot.
+func (sh *shard) complete(req *request, res result) {
+	req.resp <- res
+	sh.depth.Add(-1)
+}
+
+// drain fails every queued request after the serving goroutine has exited.
+func (sh *shard) drain() {
+	sh.fill()
+	for _, req := range sh.fifo {
+		sh.complete(req, result{err: ErrClosed})
+	}
+	sh.fifo = nil
+	for {
+		select {
+		case req := <-sh.queue:
+			sh.complete(req, result{err: ErrClosed})
+		default:
+			return
+		}
+	}
+}
+
+// publishStats refreshes the atomic mirrors of loop-private state.
+func (sh *shard) publishStats() {
+	_, peak := sh.oram.StashOccupancy()
+	sh.stashPeak.Store(int64(peak))
+	if sh.enf != nil {
+		sh.rate.Store(sh.enf.Rate())
+		sh.epoch.Store(int64(sh.enf.Epoch()))
+	}
+}
+
+// stats snapshots the shard's counters.
+func (sh *shard) stats() ShardStats {
+	return ShardStats{
+		Shard:         sh.id,
+		Queue:         int(sh.depth.Load()),
+		RealAccesses:  sh.reals.Load(),
+		DummyAccesses: sh.dummies.Load(),
+		Coalesced:     sh.coalesced.Load(),
+		Rate:          sh.rate.Load(),
+		Epoch:         int(sh.epoch.Load()),
+		StashPeak:     int(sh.stashPeak.Load()),
+		Failed:        sh.failed.Load(),
+	}
+}

@@ -1,0 +1,46 @@
+package server
+
+// The daemon protocol is JSON lines over TCP: one JSON object per newline-
+// terminated line in each direction. Requests carry a client-chosen id that
+// the matching response echoes, so clients may pipeline arbitrarily many
+// requests per connection; responses arrive in completion order, not
+// submission order (ORAM slots on different shards complete independently).
+//
+// Ops:
+//
+//	{"id":1,"op":"read","addr":17}
+//	{"id":2,"op":"write","addr":17,"data":"<base64>"}
+//	{"id":3,"op":"stats"}
+//	{"id":4,"op":"ping"}
+//
+// Responses:
+//
+//	{"id":1,"ok":true,"data":"<base64>"}
+//	{"id":2,"ok":true}
+//	{"id":3,"ok":true,"stats":{...}}
+//	{"id":5,"ok":false,"err":"server: address 99999 out of range (4096 blocks)"}
+
+// Op names accepted by the daemon.
+const (
+	OpRead  = "read"
+	OpWrite = "write"
+	OpStats = "stats"
+	OpPing  = "ping"
+)
+
+// Request is one client → daemon message.
+type Request struct {
+	ID   uint64 `json:"id"`
+	Op   string `json:"op"`
+	Addr uint64 `json:"addr,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// Response is one daemon → client message.
+type Response struct {
+	ID    uint64 `json:"id"`
+	OK    bool   `json:"ok"`
+	Err   string `json:"err,omitempty"`
+	Data  []byte `json:"data,omitempty"`
+	Stats *Stats `json:"stats,omitempty"`
+}

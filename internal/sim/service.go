@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tcoram/internal/stats"
+)
+
+// This file holds the run-level statistics types shared between the
+// cycle-accurate simulator world and the wall-clock service world
+// (internal/server, cmd/loadgen): the simulator reports per-window IPC and
+// dummy fractions over simulated cycles, the server reports throughput and
+// latency quantiles over wall time, and both need to land in the same
+// tables and perf-trajectory records.
+
+// LatencySummary condenses a latency sample into the quantiles the loadgen
+// report and the scaling benchmark publish.
+type LatencySummary struct {
+	N                  int
+	Mean               time.Duration
+	P50, P95, P99, Max time.Duration
+}
+
+// SummarizeLatencies computes a LatencySummary. The input is not retained;
+// it is sorted in place.
+func SummarizeLatencies(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	xs := make([]float64, len(samples))
+	var sum time.Duration
+	for i, s := range samples {
+		xs[i] = float64(s)
+		sum += s
+	}
+	return LatencySummary{
+		N:    len(samples),
+		Mean: sum / time.Duration(len(samples)),
+		P50:  time.Duration(stats.Quantile(xs, 0.50)),
+		P95:  time.Duration(stats.Quantile(xs, 0.95)),
+		P99:  time.Duration(stats.Quantile(xs, 0.99)),
+		Max:  samples[len(samples)-1],
+	}
+}
+
+// ServiceReport is the outcome of one load scenario against the concurrent
+// ORAM service — the wall-clock analogue of Result. Zero Lost and Corrupted
+// counts are the correctness acceptance bar for every scenario.
+type ServiceReport struct {
+	Scenario string
+	Clients  int
+	Shards   int
+
+	Ops     uint64
+	Reads   uint64
+	Writes  uint64
+	Elapsed time.Duration
+
+	Latency LatencySummary
+
+	// RealAccesses/DummyAccesses aggregate the per-shard enforcer stats over
+	// the scenario's duration; DummyFraction is the observed share of slots
+	// that carried no demand (the §9.3 metric, measured on live traffic).
+	RealAccesses  uint64
+	DummyAccesses uint64
+
+	// Lost counts requests that errored or timed out; Corrupted counts reads
+	// whose payload failed validation.
+	Lost      uint64
+	Corrupted uint64
+}
+
+// Throughput returns completed operations per second.
+func (r ServiceReport) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+// DummyFraction returns the observed share of ORAM accesses that were
+// dummies during the scenario.
+func (r ServiceReport) DummyFraction() float64 {
+	t := r.RealAccesses + r.DummyAccesses
+	if t == 0 {
+		return 0
+	}
+	return float64(r.DummyAccesses) / float64(t)
+}
+
+// Row renders the report as a stats.Table row; Header gives the matching
+// column set.
+func (r ServiceReport) Row(t *stats.Table) {
+	t.AddRow(
+		r.Scenario,
+		r.Clients,
+		r.Shards,
+		r.Ops,
+		fmt.Sprintf("%.0f", r.Throughput()),
+		r.Latency.P50.Round(time.Microsecond).String(),
+		r.Latency.P95.Round(time.Microsecond).String(),
+		r.Latency.P99.Round(time.Microsecond).String(),
+		fmt.Sprintf("%.3f", r.DummyFraction()),
+		r.Lost,
+		r.Corrupted,
+	)
+}
+
+// ServiceReportTable builds the table loadgen prints, one Row per scenario.
+func ServiceReportTable(title string) *stats.Table {
+	return stats.NewTable(title,
+		"scenario", "clients", "shards", "ops", "ops/s",
+		"p50", "p95", "p99", "dummy-frac", "lost", "corrupt")
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarizeLatencies(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 100; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	s := SummarizeLatencies(samples)
+	if s.N != 100 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("Max = %v", s.Max)
+	}
+	if s.P50 < 49*time.Millisecond || s.P50 > 52*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 < 98*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if z := SummarizeLatencies(nil); z.N != 0 || z.Max != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestServiceReport(t *testing.T) {
+	r := ServiceReport{
+		Scenario:      "uniform",
+		Clients:       8,
+		Shards:        4,
+		Ops:           1000,
+		Elapsed:       2 * time.Second,
+		RealAccesses:  900,
+		DummyAccesses: 300,
+	}
+	if got := r.Throughput(); got != 500 {
+		t.Fatalf("Throughput = %v", got)
+	}
+	if got := r.DummyFraction(); got != 0.25 {
+		t.Fatalf("DummyFraction = %v", got)
+	}
+	if (ServiceReport{}).Throughput() != 0 || (ServiceReport{}).DummyFraction() != 0 {
+		t.Fatal("zero report should report zero rates")
+	}
+
+	tbl := ServiceReportTable("loadgen")
+	r.Row(tbl)
+	out := tbl.String()
+	if !strings.Contains(out, "uniform") || !strings.Contains(out, "500") {
+		t.Fatalf("table missing fields:\n%s", out)
+	}
+}

@@ -124,6 +124,29 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(s / float64(len(xs)))
 }
 
+// Quantile returns the q-quantile (q in [0,1]) of xs by linear
+// interpolation between order statistics. xs must be sorted ascending; the
+// caller keeps ownership. Returns 0 for empty input.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}
+
 // ChiSquareUniform computes the chi-square statistic of observed counts
 // against a uniform expectation.
 func ChiSquareUniform(counts []int) float64 {

@@ -61,6 +61,24 @@ func TestGeoMean(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.95, 4.8}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+	if Quantile([]float64{7}, 0.99) != 7 {
+		t.Error("single-element quantile")
+	}
+}
+
 func TestChiSquareUniform(t *testing.T) {
 	if got := ChiSquareUniform([]int{10, 10, 10, 10}); got != 0 {
 		t.Fatalf("uniform chi2 = %v, want 0", got)

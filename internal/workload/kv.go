@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file extends the workload package from instruction streams to
+// key-value operation streams: the load generator (cmd/loadgen) drives the
+// concurrent ORAM service with the same deterministic, seed-reproducible
+// discipline the simulator's benchmarks use. Scenario shapes follow the
+// standard KV-store evaluation patterns (uniform, zipfian hot set,
+// read-mostly, sequential scan).
+
+// KVOp is one key-value operation against the service.
+type KVOp struct {
+	Addr  uint64
+	Write bool
+}
+
+// KVStream generates a deterministic sequence of operations. Streams are
+// infinite and not safe for concurrent use; give each client goroutine its
+// own (NewKVStream with distinct seeds).
+type KVStream interface {
+	Next() KVOp
+}
+
+// KVScenario names a load shape.
+type KVScenario string
+
+const (
+	// KVUniform spreads accesses uniformly over the address space with a
+	// balanced read/write mix.
+	KVUniform KVScenario = "uniform"
+	// KVZipf concentrates accesses on a zipfian hot set (s = 1.1), the
+	// classic skewed-popularity shape.
+	KVZipf KVScenario = "zipf"
+	// KVReadMostly is a 95/5 read/write mix over a uniform key pick.
+	KVReadMostly KVScenario = "read-mostly"
+	// KVScan sweeps the address space sequentially (stride 1, wrapping),
+	// with occasional writes — the pattern that stresses shard routing's
+	// round-robin spread.
+	KVScan KVScenario = "scan"
+)
+
+// KVScenarios lists every scenario, in the order loadgen runs them.
+func KVScenarios() []KVScenario {
+	return []KVScenario{KVUniform, KVZipf, KVReadMostly, KVScan}
+}
+
+// writeFraction returns the scenario's share of writes.
+func (s KVScenario) writeFraction() float64 {
+	switch s {
+	case KVReadMostly:
+		return 0.05
+	case KVScan:
+		return 0.10
+	default:
+		return 0.50
+	}
+}
+
+// kvStream implements KVStream for all scenarios.
+type kvStream struct {
+	scenario KVScenario
+	blocks   uint64
+	rng      *rand.Rand
+	zipf     *rand.Zipf
+	writeThr uint32 // write probability in 1/2^32 units
+	cursor   uint64 // scan position
+}
+
+// NewKVStream builds a deterministic operation stream over [0, blocks) for
+// the given scenario. Distinct seeds give decorrelated streams; identical
+// (scenario, blocks, seed) triples replay identically. start offsets the
+// scan cursor so concurrent scanning clients cover disjoint regions.
+func NewKVStream(scenario KVScenario, blocks uint64, seed int64, start uint64) (KVStream, error) {
+	if blocks == 0 {
+		return nil, fmt.Errorf("workload: kv stream needs a non-empty address space")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &kvStream{
+		scenario: scenario,
+		blocks:   blocks,
+		rng:      rng,
+		writeThr: toThreshold(scenario.writeFraction()),
+		cursor:   start % blocks,
+	}
+	switch scenario {
+	case KVUniform, KVReadMostly, KVScan:
+	case KVZipf:
+		// s=1.1, v=1 over the whole space: a small hot set absorbs most
+		// accesses while the tail keeps every shard warm.
+		s.zipf = rand.NewZipf(rng, 1.1, 1, blocks-1)
+	default:
+		return nil, fmt.Errorf("workload: unknown kv scenario %q", scenario)
+	}
+	return s, nil
+}
+
+// Next implements KVStream.
+func (s *kvStream) Next() KVOp {
+	var addr uint64
+	switch s.scenario {
+	case KVScan:
+		addr = s.cursor
+		s.cursor++
+		if s.cursor >= s.blocks {
+			s.cursor = 0
+		}
+	case KVZipf:
+		addr = s.zipf.Uint64()
+	default:
+		addr = s.rng.Uint64() % s.blocks
+	}
+	write := uint32(s.rng.Uint64()) < s.writeThr
+	return KVOp{Addr: addr, Write: write}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestKVStreamDeterministic(t *testing.T) {
+	for _, sc := range KVScenarios() {
+		a, err := NewKVStream(sc, 1024, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewKVStream(sc, 1024, 7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 1000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%s: streams with identical seeds diverged at op %d", sc, i)
+			}
+		}
+	}
+}
+
+func TestKVStreamRangesAndMix(t *testing.T) {
+	const blocks = 512
+	for _, sc := range KVScenarios() {
+		s, err := NewKVStream(sc, blocks, 11, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writes := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			op := s.Next()
+			if op.Addr >= blocks {
+				t.Fatalf("%s: address %d out of range", sc, op.Addr)
+			}
+			if op.Write {
+				writes++
+			}
+		}
+		frac := float64(writes) / n
+		want := sc.writeFraction()
+		if frac < want-0.05 || frac > want+0.05 {
+			t.Errorf("%s: write fraction %.3f, want ≈%.2f", sc, frac, want)
+		}
+	}
+}
+
+func TestKVZipfIsSkewed(t *testing.T) {
+	s, err := NewKVStream(KVZipf, 1<<16, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.Next().Addr < 16 {
+			hot++
+		}
+	}
+	// Uniform would put 16/65536 ≈ 0.02% in the first 16 keys; zipf s=1.1
+	// concentrates a large share there.
+	if frac := float64(hot) / n; frac < 0.2 {
+		t.Fatalf("zipf hot-16 share %.3f, want ≥ 0.2", frac)
+	}
+}
+
+func TestKVScanSweepsSequentially(t *testing.T) {
+	const blocks = 64
+	s, err := NewKVStream(KVScan, blocks, 5, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Next().Addr
+	if prev != 60 {
+		t.Fatalf("scan start = %d, want 60", prev)
+	}
+	for i := 0; i < 200; i++ {
+		cur := s.Next().Addr
+		want := (prev + 1) % blocks
+		if cur != want {
+			t.Fatalf("scan jumped %d → %d, want %d", prev, cur, want)
+		}
+		prev = cur
+	}
+}
+
+func TestKVStreamRejectsBadInput(t *testing.T) {
+	if _, err := NewKVStream(KVUniform, 0, 1, 0); err == nil {
+		t.Error("blocks=0 accepted")
+	}
+	if _, err := NewKVStream(KVScenario("bogus"), 8, 1, 0); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}

@@ -1,25 +1,38 @@
 #!/usr/bin/env bash
 # bench.sh — run the repo's perf-trajectory benchmarks and emit a JSON
-# record (BENCH_<date>.json) so successive PRs can track ns/op, B/op and
-# allocs/op for the hot paths over time.
+# record (BENCH_<date>_<commit>.json) so successive PRs can track ns/op,
+# B/op and allocs/op for the hot paths over time. The short commit hash in
+# the filename keeps two same-day runs from silently overwriting each other;
+# the date stays in the JSON records for trend plots.
 #
 # Usage: scripts/bench.sh [output-dir]    (default: repo root)
+# Env:   BENCH_TIME    go test -benchtime value (default 1s)
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 outdir="${1:-.}"
 stamp="$(date +%Y%m%d)"
-out="${outdir}/BENCH_${stamp}.json"
+# The hash names the code that was benchmarked; a run from a modified
+# working tree gets a "-dirty" marker so the record is never attributed to
+# a commit whose tree it didn't measure.
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    commit="${commit}-dirty"
+fi
+out="${outdir}/BENCH_${stamp}_${commit}.json"
+benchtime="${BENCH_TIME:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-benches='BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen'
-go test -run '^$' -bench "$benches" -benchmem -benchtime=1s -count=1 . | tee "$raw"
+benches='BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen|BenchmarkServerThroughput'
+go test -run '^$' -bench "$benches" -benchmem -benchtime="$benchtime" -count=1 . ./internal/server | tee "$raw"
 
 # Convert `go test -bench` lines into a JSON array. A bench line looks like:
 #   BenchmarkPathORAMAccess  202093  11572 ns/op  1 B/op  0 allocs/op
-awk -v date="$stamp" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+# Sub-benchmarks keep their slash-separated name; the trailing -N
+# (GOMAXPROCS) suffix is stripped so records compare across machines.
+awk -v date="$stamp" -v commit="$commit" '
 BEGIN { print "[" ; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)

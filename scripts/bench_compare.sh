@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# bench_compare.sh — the bench-regression gate. Runs scripts/bench.sh into a
+# temporary directory and compares every benchmark that also appears in the
+# newest *committed* BENCH_*.json record: if any ns/op regressed more than
+# the tolerance, the script fails and lists the offenders.
+#
+# Caveat: the baseline JSON records whatever machine ran scripts/bench.sh
+# last; comparing against a run on different hardware measures the hardware
+# as much as the code. Keep the committed baselines coming from one box (or
+# regenerate the baseline on the current box before trusting a REGRESS),
+# and use the tolerance knob when runner hardware legitimately shifts.
+#
+# Knobs (for intentional perf trade-offs or noisy boxes):
+#   BENCH_TOLERANCE_PCT   allowed ns/op regression percentage (default 20)
+#   BENCH_COMPARE_SKIP=1  skip the gate entirely (use when a PR knowingly
+#                         trades hot-path speed for something else; say so
+#                         in the PR description and commit a fresh
+#                         BENCH_<date>_<commit>.json so the next gate
+#                         baselines against the accepted numbers)
+#   BENCH_TIME            forwarded to bench.sh (default 1s)
+#
+# New benchmarks (present only in the fresh run) pass automatically —
+# they have no baseline yet. Removed benchmarks are reported but don't fail.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tol="${BENCH_TOLERANCE_PCT:-20}"
+
+if [[ "${BENCH_COMPARE_SKIP:-0}" == "1" ]]; then
+    echo "bench_compare: skipped via BENCH_COMPARE_SKIP=1"
+    exit 0
+fi
+
+# Newest committed baseline: among tracked BENCH_*.json files, take the one
+# whose last touching commit is most recent (filename date alone can't order
+# two same-day records).
+baseline=""
+newest=0
+while IFS= read -r f; do
+    ts="$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)"
+    if [[ "$ts" -gt "$newest" ]]; then
+        newest="$ts"
+        baseline="$f"
+    fi
+done < <(git ls-files 'BENCH_*.json')
+
+if [[ -z "$baseline" ]]; then
+    echo "bench_compare: no committed BENCH_*.json baseline; nothing to gate"
+    exit 0
+fi
+echo "bench_compare: baseline $baseline (tolerance ${tol}%)"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+scripts/bench.sh "$tmpdir" >/dev/null
+fresh="$(ls "$tmpdir"/BENCH_*.json)"
+
+# Extract "name ns_per_op" pairs from a bench JSON (our own fixed format).
+extract() {
+    grep -o '"name": "[^"]*", "ns_per_op": [0-9.e+]*' "$1" |
+        sed 's/"name": "\([^"]*\)", "ns_per_op": \([0-9.e+]*\)/\1 \2/'
+}
+
+extract "$baseline" | sort > "$tmpdir/base.txt"
+extract "$fresh" | sort > "$tmpdir/new.txt"
+
+awk -v tol="$tol" '
+NR == FNR { base[$1] = $2; next }
+{
+    if (!($1 in base)) { printf "  NEW      %-55s %12.1f ns/op (no baseline)\n", $1, $2; next }
+    seen[$1] = 1
+    limit = base[$1] * (1 + tol / 100)
+    delta = (base[$1] > 0) ? ($2 / base[$1] - 1) * 100 : 0
+    if ($2 > limit) {
+        printf "  REGRESS  %-55s %12.1f -> %12.1f ns/op (%+.1f%% > +%s%%)\n", $1, base[$1], $2, delta, tol
+        bad++
+    } else {
+        printf "  ok       %-55s %12.1f -> %12.1f ns/op (%+.1f%%)\n", $1, base[$1], $2, delta
+    }
+}
+END {
+    for (n in base) if (!(n in seen)) printf "  GONE     %-55s (in baseline, not in this run)\n", n
+    if (bad > 0) {
+        printf "bench_compare: %d benchmark(s) regressed beyond %s%%.\n", bad, tol
+        printf "If intentional, re-run with BENCH_COMPARE_SKIP=1 and commit a fresh record via scripts/bench.sh.\n"
+        exit 1
+    }
+    print "bench_compare: no regression beyond tolerance."
+}
+' "$tmpdir/base.txt" "$tmpdir/new.txt"
