@@ -9,6 +9,14 @@
 //	loadgen                                   # in-process, all scenarios
 //	loadgen -addr 127.0.0.1:7312 -clients 32  # external daemon
 //	loadgen -scenario zipf -ops 5000          # one scenario, heavier run
+//
+// The dynamic epoch learner goes live with a multi-rate set and an epoch
+// schedule; the ramp scenario shows it tracking an offered load that climbs
+// phase by phase, with the report's rate-chg/leak-bits columns counting
+// exactly what the timing channel gave away:
+//
+//	loadgen -scenario ramp -ops 400 \
+//	        -rates 100,400,1600,6400 -epoch 200000 -growth 2 -leak-budget 64
 package main
 
 import (
@@ -27,7 +35,7 @@ import (
 func main() {
 	var (
 		addr       = flag.String("addr", "", "daemon address; empty = start an in-process oramd")
-		scenario   = flag.String("scenario", "all", "uniform | zipf | read-mostly | scan | all")
+		scenario   = flag.String("scenario", "all", "uniform | zipf | read-mostly | scan | bursty | onoff | ramp | all (comma-separable)")
 		clients    = flag.Int("clients", 8, "concurrent clients")
 		ops        = flag.Int("ops", 500, "operations per client")
 		blocks     = flag.Uint64("blocks", 4096, "address space to exercise (must fit the server)")
@@ -36,21 +44,31 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 
 		// In-process server shape (ignored with -addr).
-		shards = flag.Int("shards", 4, "in-process: shard count")
-		rate   = flag.Uint64("rate", 85, "in-process: static rate (cycles; 100 cycles = 100 µs at 1 MHz)")
-		olat   = flag.Uint64("olat", 15, "in-process: ORAM latency in cycles")
+		shards     = flag.Int("shards", 4, "in-process: shard count")
+		rates      = flag.String("rates", "85", "in-process: comma-separated rate set (cycles, ascending; one value = static)")
+		olat       = flag.Uint64("olat", 15, "in-process: ORAM latency in cycles")
+		epochLen   = flag.Uint64("epoch", 0, "in-process: first epoch length in cycles (0 = static rate)")
+		growth     = flag.Uint64("growth", 4, "in-process: epoch length growth factor")
+		leakBudget = flag.Float64("leak-budget", 0, "in-process: leakage budget in bits across shards (0 = account only)")
 	)
 	flag.Parse()
 
 	target := *addr
 	if target == "" {
+		rateSet, err := server.ParseRates(*rates)
+		if err != nil {
+			fatal(err)
+		}
 		st, err := server.New(server.Config{
-			Shards:      *shards,
-			Blocks:      *blocks,
-			BlockBytes:  *blockBytes,
-			ClockHz:     1_000_000,
-			ORAMLatency: *olat,
-			Rates:       []uint64{*rate},
+			Shards:            *shards,
+			Blocks:            *blocks,
+			BlockBytes:        *blockBytes,
+			ClockHz:           1_000_000,
+			ORAMLatency:       *olat,
+			Rates:             rateSet,
+			EpochFirstLen:     *epochLen,
+			EpochGrowth:       *growth,
+			LeakageBudgetBits: *leakBudget,
 		})
 		if err != nil {
 			fatal(err)
@@ -63,7 +81,12 @@ func main() {
 		defer l.Close()
 		go server.Serve(l, st)
 		target = l.Addr().String()
-		fmt.Printf("loadgen: started in-process oramd (%d shards) on %s\n", *shards, target)
+		mode := "static"
+		if *epochLen > 0 {
+			mode = fmt.Sprintf("dynamic epochs (first %d, growth %d)", *epochLen, *growth)
+		}
+		fmt.Printf("loadgen: started in-process oramd (%d shards, rates %v, %s) on %s\n",
+			*shards, rateSet, mode, target)
 	}
 
 	scenarios, err := pickScenarios(*scenario)
@@ -121,6 +144,18 @@ func main() {
 		table.CSV(os.Stdout)
 	} else {
 		table.Render(os.Stdout)
+	}
+	// The leakage account is cumulative across the whole serving session;
+	// print it after the per-scenario deltas so operators see the total the
+	// budget is judged against. A failed fetch must say so — silence would
+	// read as "no leakage, no slip".
+	if final, err := statsClient.Stats(); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: could not fetch final server stats: %v\n", err)
+	} else {
+		fmt.Printf("loadgen: %s\n", final.LeakageSummary())
+		if warning, ok := final.SlipWarning(); ok {
+			fmt.Printf("loadgen: %s\n", warning)
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d scenario(s) had lost or corrupted operations\n", failures)

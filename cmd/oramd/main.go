@@ -4,9 +4,10 @@
 // Examples:
 //
 //	oramd -addr :7312 -shards 8 -blocks 65536
-//	oramd -addr :7312 -rates 85 -olat 15            # static 100 µs slots
-//	oramd -addr :7312 -rates 45,195,495 -epoch 1e6  # dynamic epoch learner
-//	oramd -addr :7312 -unpaced                      # no timing protection
+//	oramd -addr :7312 -rates 85 -olat 15                 # static 100 µs slots
+//	oramd -addr :7312 -rates 100,400,1600,6400 \
+//	      -epoch 200000 -growth 2 -leak-budget 64        # dynamic epoch learner
+//	oramd -addr :7312 -unpaced                           # no timing protection
 package main
 
 import (
@@ -15,8 +16,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 
 	"tcoram/internal/server"
@@ -36,27 +35,29 @@ func main() {
 		rates      = flag.String("rates", "85", "comma-separated allowed rate set (cycles, ascending)")
 		epochLen   = flag.Uint64("epoch", 0, "first epoch length in cycles (0 = static rate)")
 		growth     = flag.Uint64("growth", 4, "epoch length growth factor")
+		leakBudget = flag.Float64("leak-budget", 0, "session leakage budget in bits across all shards (0 = account only)")
 		unpaced    = flag.Bool("unpaced", false, "disable rate enforcement (no dummies; leaks timing)")
 	)
 	flag.Parse()
 
-	rateSet, err := parseRates(*rates)
+	rateSet, err := server.ParseRates(*rates)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := server.Config{
-		Shards:        *shards,
-		Blocks:        *blocks,
-		BlockBytes:    *blockBytes,
-		Z:             *z,
-		QueueDepth:    *queue,
-		Seed:          *seed,
-		ClockHz:       *hz,
-		ORAMLatency:   *olat,
-		Rates:         rateSet,
-		EpochFirstLen: *epochLen,
-		EpochGrowth:   *growth,
-		Unpaced:       *unpaced,
+		Shards:            *shards,
+		Blocks:            *blocks,
+		BlockBytes:        *blockBytes,
+		Z:                 *z,
+		QueueDepth:        *queue,
+		Seed:              *seed,
+		ClockHz:           *hz,
+		ORAMLatency:       *olat,
+		Rates:             rateSet,
+		EpochFirstLen:     *epochLen,
+		EpochGrowth:       *growth,
+		LeakageBudgetBits: *leakBudget,
+		Unpaced:           *unpaced,
 	}
 	st, err := server.New(cfg)
 	if err != nil {
@@ -96,25 +97,12 @@ func main() {
 	real, dummy, coalesced := stats.Totals()
 	fmt.Printf("oramd: served %d real + %d dummy accesses (dummy fraction %.3f), %d coalesced\n",
 		real, dummy, stats.DummyFraction(), coalesced)
-}
-
-func parseRates(s string) ([]uint64, error) {
-	var out []uint64
-	for _, part := range strings.Split(s, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
+	if !eff.Unpaced {
+		fmt.Printf("oramd: %s\n", stats.LeakageSummary())
+		if warning, ok := stats.SlipWarning(); ok {
+			fmt.Printf("oramd: %s\n", warning)
 		}
-		v, err := strconv.ParseUint(part, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("oramd: bad rate %q: %v", part, err)
-		}
-		out = append(out, v)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("oramd: empty rate set")
-	}
-	return out, nil
 }
 
 func fatal(err error) {

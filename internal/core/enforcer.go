@@ -10,9 +10,9 @@ import (
 // (§2.2.1) — and drives both the Fig 7 epoch markers and the adversary's
 // trace reconstruction.
 type RateChange struct {
-	Cycle uint64
-	Rate  uint64
-	Epoch int
+	Cycle uint64 `json:"cycle"`
+	Rate  uint64 `json:"rate"`
+	Epoch int    `json:"epoch"`
 }
 
 // EnforcerConfig configures a shielded ORAM controller frontend.
@@ -162,6 +162,11 @@ func NewEnforcer(cfg EnforcerConfig) (*Enforcer, error) {
 
 // Rate returns the rate in force.
 func (e *Enforcer) Rate() uint64 { return e.rate }
+
+// Period returns the full slot period under the rate in force: rate cycles
+// of gap plus the access latency. Consecutive slot starts are exactly one
+// period apart within an epoch.
+func (e *Enforcer) Period() uint64 { return e.rate + e.cfg.ORAMLatency }
 
 // Epoch returns the current epoch index.
 func (e *Enforcer) Epoch() int { return e.epoch }

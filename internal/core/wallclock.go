@@ -84,11 +84,23 @@ func (c *CycleClock) Until(cycle uint64) time.Duration {
 // the bus. If the host cannot keep up (serving a slot takes longer than the
 // rate interval), the cycle grid slips behind wall time and the loop issues
 // slots back-to-back until it catches up — a software-only failure mode a
-// hardware controller does not have, surfaced via Stats for monitoring.
+// hardware controller does not have, surfaced via Slip for monitoring.
+//
+// Slipped slots are excluded from the learner's Waste counter: a slot issued
+// a full period or more behind wall time means the host, not the rate, is
+// the bottleneck, and charging that wait as Waste would drive the learner to
+// its fastest rate exactly when going faster cannot help. The slip counters
+// exist so operators see the condition instead of the learner mislearning
+// from it.
 type WallEnforcer struct {
 	mu    sync.Mutex
 	e     *Enforcer
 	clock *CycleClock
+
+	// Grid-slip accounting (guarded by mu): slots issued at least one full
+	// period behind the wall clock, and the worst lag ever observed.
+	overdueSlots uint64
+	maxLagCycles uint64
 }
 
 // NewWallEnforcer builds the adapter. The enforcer must be freshly
@@ -113,10 +125,45 @@ func (w *WallEnforcer) NextSlot() (slot uint64, wait time.Duration) {
 // TakeSlot consumes the next slot as a demand or dummy access and returns
 // its start cycle. arrival is the cycle the served request arrived (ignored
 // for dummies).
+//
+// When the slot being issued is overdue by at least one full period, the
+// grid has slipped: the slip counters advance and, for demands, arrival is
+// clamped to the slot start so the host-induced wait contributes zero Waste
+// (the learner only ever sees rate-attributable waiting).
 func (w *WallEnforcer) TakeSlot(arrival uint64, demand bool) uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	slot := w.e.NextSlot()
+	if now := w.clock.Now(); now > slot {
+		lag := now - slot
+		if lag >= w.e.Period() {
+			w.overdueSlots++
+			if lag > w.maxLagCycles {
+				w.maxLagCycles = lag
+			}
+			if demand {
+				arrival = slot
+			}
+		}
+	}
 	return w.e.TakeSlot(arrival, demand)
+}
+
+// Slip reports the grid-slip counters: how many slots were issued at least
+// one full period behind the wall clock (the loop's back-to-back catch-up
+// mode) and the largest lag, in cycles, ever observed at slot issue.
+func (w *WallEnforcer) Slip() (overdueSlots, maxLagCycles uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.overdueSlots, w.maxLagCycles
+}
+
+// Counters returns the live epoch counters — the learner's inputs — for
+// tests and monitoring.
+func (w *WallEnforcer) Counters() Counters {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.e.CountersNow()
 }
 
 // Now returns the current cycle.

@@ -175,6 +175,69 @@ func TestNextSlotDoesNotConsume(t *testing.T) {
 	}
 }
 
+// TestWallEnforcerSlipCounters: a grid whose clock epoch lies in the past is
+// overdue from the first slot — the adapter must count the slipped slots,
+// track the worst lag, and keep host-induced waiting out of the learner's
+// Waste counter.
+func TestWallEnforcerSlipCounters(t *testing.T) {
+	e, err := NewEnforcer(EnforcerConfig{ORAMLatency: 10, Rates: []uint64{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MHz clock started 500 ms ago: the grid is ~500k cycles behind wall
+	// time, far beyond the 110-cycle period, so every slot issued now is in
+	// catch-up mode.
+	clock, err := NewCycleClockAt(1_000_000, time.Now().Add(-500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWallEnforcer(e, clock)
+
+	w.TakeSlot(0, true) // a demand that "arrived at cycle 0"
+	w.TakeSlot(0, false)
+	w.TakeSlot(0, true)
+
+	overdue, maxLag := w.Slip()
+	if overdue != 3 {
+		t.Errorf("overdue slots = %d, want 3", overdue)
+	}
+	if maxLag < 400_000 {
+		t.Errorf("max lag = %d cycles, want ≥ 400000 (clock started 500 ms behind)", maxLag)
+	}
+	// The demands waited half a second of wall time behind the stalled grid,
+	// but none of that is the rate's fault: Waste must stay zero.
+	if c := w.Counters(); c.Waste != 0 {
+		t.Errorf("slipped demand slots charged %d cycles of Waste, want 0", c.Waste)
+	}
+	if c := w.Counters(); c.AccessCount != 2 {
+		t.Errorf("AccessCount = %d, want 2", c.AccessCount)
+	}
+}
+
+// TestWallEnforcerOnTimeSlotCountsWaste: the slip exclusion must not eat
+// legitimate rate-attributable waiting — a slot issued on time (before its
+// wall-clock start) charges the full arrival→slot wait as Waste.
+func TestWallEnforcerOnTimeSlotCountsWaste(t *testing.T) {
+	e, err := NewEnforcer(EnforcerConfig{ORAMLatency: 10, Rates: []uint64{100_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First slot opens at cycle 100000 = 100 ms from now: issuing it
+	// immediately is early, not overdue.
+	clock, err := NewCycleClock(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWallEnforcer(e, clock)
+	w.TakeSlot(0, true)
+	if overdue, _ := w.Slip(); overdue != 0 {
+		t.Errorf("on-time slot counted as overdue (%d)", overdue)
+	}
+	if c := w.Counters(); c.Waste != 100_000 {
+		t.Errorf("Waste = %d, want 100000 (arrival 0, slot 100000)", c.Waste)
+	}
+}
+
 // TestWallEnforcerConcurrentStats exercises the adapter's locking under the
 // race detector: one goroutine paces, others poll stats.
 func TestWallEnforcerConcurrentStats(t *testing.T) {
@@ -208,6 +271,8 @@ func TestWallEnforcerConcurrentStats(t *testing.T) {
 					_ = w.Epoch()
 					_, _ = w.NextSlot()
 					_ = w.RateChanges()
+					_, _ = w.Slip()
+					_ = w.Counters()
 				}
 			}
 		}()

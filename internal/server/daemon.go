@@ -83,7 +83,12 @@ func HandleConn(conn net.Conn, st *Store) {
 		}
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: bad request: %v", err)}
+			// Always answer malformed lines with ID 0: req may hold a
+			// partially-decoded ID from before the parse error, and echoing
+			// it would attribute this failure to some other pipelined
+			// request. Clients must treat id 0 as "a line you sent was
+			// unparseable" (the client never issues id 0 itself).
+			out <- Response{ID: 0, OK: false, Err: fmt.Sprintf("server: bad request: %v", err)}
 			continue
 		}
 		switch req.Op {
@@ -103,6 +108,12 @@ func HandleConn(conn net.Conn, st *Store) {
 		default:
 			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: unknown op %q", req.Op)}
 		}
+	}
+	if err := sc.Err(); err != nil {
+		// Scanner failures (oversized line, mid-stream read error) used to
+		// close the connection silently; send a final zero-ID diagnostic so
+		// the peer learns why its connection died.
+		out <- Response{ID: 0, OK: false, Err: fmt.Sprintf("server: connection failed: %v", err)}
 	}
 	inflight.Wait()
 	close(out)

@@ -1,7 +1,11 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"net"
+	"strings"
 	"testing"
 
 	"tcoram/internal/workload"
@@ -152,6 +156,93 @@ func TestDaemonProtocolErrors(t *testing.T) {
 	n, err := raw.Read(buf)
 	if err != nil || n == 0 {
 		t.Fatalf("no response to garbage: n=%d err=%v", n, err)
+	}
+}
+
+// TestDaemonMalformedLineZeroID: a pipelined malformed line must be
+// answered with id 0 — never with whatever id the decoder managed to pull
+// out before failing, which would misattribute the error to a live request.
+func TestDaemonMalformedLineZeroID(t *testing.T) {
+	_, addr := startDaemon(t, Config{
+		Shards: 2, Blocks: 64, BlockBytes: 64,
+		ClockHz: 1_000_000, ORAMLatency: 200, Rates: []uint64{800},
+	})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// The middle line decodes id 9 before hitting the parse error; the old
+	// code would echo 9, colliding with a legitimate pipelined request.
+	lines := `{"id":7,"op":"ping"}` + "\n" +
+		`{"id":9,"op":"read","addr":}` + "\n" +
+		`{"id":8,"op":"ping"}` + "\n"
+	if _, err := raw.Write([]byte(lines)); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(raw)
+	var resps []Response
+	for len(resps) < 3 && sc.Scan() {
+		var r Response
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("undecodable response %q: %v", sc.Bytes(), err)
+		}
+		resps = append(resps, r)
+	}
+	if len(resps) < 3 {
+		t.Fatalf("got %d responses, want 3 (scanner err %v)", len(resps), sc.Err())
+	}
+	// Pings and parse errors are answered inline, so order is deterministic.
+	if !resps[0].OK || resps[0].ID != 7 {
+		t.Errorf("first response = %+v, want ok ping id 7", resps[0])
+	}
+	if resps[1].OK || resps[1].ID != 0 {
+		t.Errorf("malformed-line response = %+v, want error with id 0", resps[1])
+	}
+	if !strings.Contains(resps[1].Err, "bad request") {
+		t.Errorf("malformed-line error %q does not say bad request", resps[1].Err)
+	}
+	if !resps[2].OK || resps[2].ID != 8 {
+		t.Errorf("third response = %+v, want ok ping id 8", resps[2])
+	}
+}
+
+// TestDaemonOversizedLineDiagnostic: blowing the line-length limit must
+// produce a final zero-ID error naming the cause before the daemon closes
+// the connection — not a silent hangup.
+func TestDaemonOversizedLineDiagnostic(t *testing.T) {
+	_, addr := startDaemon(t, Config{
+		Shards: 2, Blocks: 64, BlockBytes: 64,
+		ClockHz: 1_000_000, ORAMLatency: 200, Rates: []uint64{800},
+	})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	// One newline-free line just past maxLineBytes trips bufio.ErrTooLong.
+	junk := bytes.Repeat([]byte{'x'}, maxLineBytes+16)
+	if _, err := raw.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(raw)
+	if !sc.Scan() {
+		t.Fatalf("connection closed with no diagnostic (scanner err %v)", sc.Err())
+	}
+	var r Response
+	if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+		t.Fatalf("undecodable diagnostic %q: %v", sc.Bytes(), err)
+	}
+	if r.OK || r.ID != 0 {
+		t.Errorf("diagnostic = %+v, want error with id 0", r)
+	}
+	if !strings.Contains(r.Err, "too long") {
+		t.Errorf("diagnostic %q does not name the oversized line", r.Err)
+	}
+	if sc.Scan() {
+		t.Errorf("unexpected extra line after diagnostic: %q", sc.Bytes())
 	}
 }
 

@@ -163,6 +163,11 @@ func RunLoad(dial func() (KV, error), statsFn func() (Stats, error), cfg LoadCon
 			local := make([]time.Duration, 0, cfg.OpsPerClient)
 			for i := 0; i < cfg.OpsPerClient; i++ {
 				op := stream.Next()
+				if op.Pause > 0 {
+					// Think time of the phase-shifting scenarios: offered
+					// load, not service latency, so it precedes the clock.
+					time.Sleep(op.Pause)
+				}
 				t0 := time.Now()
 				if op.Write {
 					FillPayload(buf, op.Addr, uint32(cl), uint64(i))
@@ -213,6 +218,8 @@ func RunLoad(dial func() (KV, error), statsFn func() (Stats, error), cfg LoadCon
 		rep.RealAccesses = ar - br
 		rep.DummyAccesses = ad - bd
 		rep.Shards = len(after.Shards)
+		rep.RateChanges = after.Transitions() - before.Transitions()
+		rep.LeakedBits = after.LeakedBits - before.LeakedBits
 	}
 	if ep := firstErr.Load(); ep != nil {
 		return rep, *ep

@@ -28,10 +28,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"tcoram/internal/core"
 	"tcoram/internal/crypt"
+	"tcoram/internal/leakage"
 	"tcoram/internal/pathoram"
 )
 
@@ -73,6 +76,15 @@ type Config struct {
 	// schedule when EpochFirstLen > 0; zero values mean a static rate.
 	EpochFirstLen uint64
 	EpochGrowth   uint64
+
+	// LeakageBudgetBits is the session's ORAM-timing-channel leakage budget
+	// in bits, accounted across all shards (each epoch transition on each
+	// shard reveals one lg|R|-bit rate choice). Zero means no budget: the
+	// store still reports cumulative leaked bits, it just never flags an
+	// overrun. The budget is a monitoring boundary, not an enforcement stop
+	// — Stats reports LeakageExceeded and operators decide (the paper's
+	// "shut down the chip" policy belongs to them).
+	LeakageBudgetBits float64
 
 	// Unpaced disables rate enforcement entirely (no slot grid, no
 	// dummies): the unshielded base_oram mode, for capacity measurement.
@@ -123,7 +135,10 @@ func (c Config) withDefaults() Config {
 // with ErrTooLong.
 const maxWireBlockBytes = (maxLineBytes - 1024) / 4 * 3
 
-// Validate reports whether the configuration is usable.
+// Validate reports whether the configuration is usable, including every
+// enforcer-facing field: New fails fast with a "server:" error naming the
+// bad field instead of surfacing a core error from deep inside shard
+// construction.
 func (c Config) Validate() error {
 	if c.Shards < 1 {
 		return fmt.Errorf("server: Shards must be positive, got %d", c.Shards)
@@ -136,6 +151,32 @@ func (c Config) Validate() error {
 	}
 	if c.BlockBytes > maxWireBlockBytes {
 		return fmt.Errorf("server: BlockBytes %d exceeds the wire protocol's %d-byte limit", c.BlockBytes, maxWireBlockBytes)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("server: QueueDepth must not be negative, got %d", c.QueueDepth)
+	}
+	if c.LeakageBudgetBits < 0 {
+		return fmt.Errorf("server: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
+	}
+	if c.Unpaced {
+		return nil // the enforcer stack is never built
+	}
+	if c.ClockHz == 0 || c.ClockHz > 1_000_000_000 {
+		return fmt.Errorf("server: ClockHz must be in [1, 1e9], got %d", c.ClockHz)
+	}
+	if c.ORAMLatency == 0 {
+		return fmt.Errorf("server: ORAMLatency must be positive")
+	}
+	if len(c.Rates) == 0 {
+		return fmt.Errorf("server: empty rate set")
+	}
+	for i := 1; i < len(c.Rates); i++ {
+		if c.Rates[i] <= c.Rates[i-1] {
+			return fmt.Errorf("server: Rates must be strictly ascending, got %v", c.Rates)
+		}
+	}
+	if c.EpochFirstLen > 0 && c.EpochGrowth < 2 {
+		return fmt.Errorf("server: EpochGrowth must be ≥ 2 for a dynamic schedule, got %d", c.EpochGrowth)
 	}
 	return nil
 }
@@ -251,16 +292,30 @@ func (s *Store) submit(req *request) error {
 	return nil
 }
 
-// Stats returns a snapshot of per-shard activity.
+// Stats returns a snapshot of per-shard activity, including the store-level
+// leakage account: every epoch transition on every shard reveals one
+// lg|R|-bit rate choice to a timing observer, and the cumulative total is
+// compared against the configured budget.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Shards:     make([]ShardStats, len(s.shards)),
-		Blocks:     s.cfg.Blocks,
-		BlockBytes: s.cfg.BlockBytes,
+		Shards:            make([]ShardStats, len(s.shards)),
+		Blocks:            s.cfg.Blocks,
+		BlockBytes:        s.cfg.BlockBytes,
+		LeakageBudgetBits: s.cfg.LeakageBudgetBits,
 	}
 	for i, sh := range s.shards {
-		st.Shards[i] = sh.stats()
+		ss := sh.stats()
+		transitions := 0
+		for _, rc := range ss.RateChanges {
+			if rc.Epoch > 0 { // the epoch-0 entry is the public initial rate, not a choice
+				transitions++
+			}
+		}
+		ss.LeakedBits = float64(leakage.ORAMTimingBits(len(s.cfg.Rates), transitions))
+		st.LeakedBits += ss.LeakedBits
+		st.Shards[i] = ss
 	}
+	st.LeakageExceeded = s.cfg.LeakageBudgetBits > 0 && st.LeakedBits > s.cfg.LeakageBudgetBits
 	return st
 }
 
@@ -290,6 +345,13 @@ type Stats struct {
 	Shards     []ShardStats `json:"shards"`
 	Blocks     uint64       `json:"blocks"`
 	BlockBytes int          `json:"block_bytes"`
+	// LeakedBits is the cumulative ORAM-timing-channel leakage across all
+	// shards: transitions × lg|R| bits, the paper's per-epoch bound realized
+	// on live traffic. LeakageBudgetBits echoes the configured budget (0 =
+	// none) and LeakageExceeded flags an overrun.
+	LeakedBits        float64 `json:"leaked_bits"`
+	LeakageBudgetBits float64 `json:"leakage_budget_bits,omitempty"`
+	LeakageExceeded   bool    `json:"leakage_exceeded,omitempty"`
 }
 
 // ShardStats is one shard's activity snapshot.
@@ -309,6 +371,19 @@ type ShardStats struct {
 	// Unpaced mode).
 	Rate  uint64 `json:"rate"`
 	Epoch int    `json:"epoch"`
+	// RateChanges is the shard enforcer's epoch-transition history — exactly
+	// the information the timing channel has revealed (its length, minus the
+	// epoch-0 entry, times lg|R| is LeakedBits). Nil in Unpaced mode.
+	RateChanges []core.RateChange `json:"rate_changes,omitempty"`
+	// LeakedBits is this shard's share of the store's leakage account.
+	LeakedBits float64 `json:"leaked_bits"`
+	// OverdueSlots counts slots this shard issued at least one full period
+	// behind the wall clock (the pacing loop's back-to-back catch-up mode);
+	// MaxLagCycles is the worst such lag observed. Nonzero values mean the
+	// host could not hold the schedule — a software-only failure mode that
+	// hardware enforcers do not have, surfaced here for monitoring.
+	OverdueSlots uint64 `json:"overdue_slots"`
+	MaxLagCycles uint64 `json:"max_lag_cycles"`
 	// StashPeak is the largest stash occupancy the shard has seen.
 	StashPeak int `json:"stash_peak"`
 	// Failed reports that the shard's ORAM hit an unrecoverable error and
@@ -326,6 +401,58 @@ func (s Stats) Totals() (real, dummy, coalesced uint64) {
 	return
 }
 
+// Transitions counts epoch transitions across shards — the number of
+// lg|R|-bit rate choices the timing channel has revealed. The epoch-0
+// history entry is the public initial rate, not a choice, so it is skipped.
+func (s Stats) Transitions() uint64 {
+	var n uint64
+	for _, sh := range s.Shards {
+		for _, rc := range sh.RateChanges {
+			if rc.Epoch > 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Slip sums the grid-slip counters across shards: total overdue slots and
+// the worst per-shard lag in cycles.
+func (s Stats) Slip() (overdueSlots, maxLagCycles uint64) {
+	for _, sh := range s.Shards {
+		overdueSlots += sh.OverdueSlots
+		if sh.MaxLagCycles > maxLagCycles {
+			maxLagCycles = sh.MaxLagCycles
+		}
+	}
+	return
+}
+
+// LeakageSummary renders the session's leakage account as the one-line
+// summary both CLIs print at shutdown.
+func (s Stats) LeakageSummary() string {
+	budget := "no budget"
+	if s.LeakageBudgetBits > 0 {
+		budget = fmt.Sprintf("budget %.1f", s.LeakageBudgetBits)
+		if s.LeakageExceeded {
+			budget += " EXCEEDED"
+		}
+	}
+	return fmt.Sprintf("timing channel leaked %.1f bits over %d epoch transitions (%s)",
+		s.LeakedBits, s.Transitions(), budget)
+}
+
+// SlipWarning renders the grid-slip warning line, or ok=false when the
+// grid never slipped.
+func (s Stats) SlipWarning() (warning string, ok bool) {
+	overdue, lag := s.Slip()
+	if overdue == 0 {
+		return "", false
+	}
+	return fmt.Sprintf("WARNING: %d slots issued ≥ 1 period late (max lag %d cycles) — host could not hold the slot grid",
+		overdue, lag), true
+}
+
 // DummyFraction is the observed share of accesses that were dummies.
 func (s Stats) DummyFraction() float64 {
 	real, dummy, _ := s.Totals()
@@ -333,6 +460,29 @@ func (s Stats) DummyFraction() float64 {
 		return 0
 	}
 	return float64(dummy) / float64(real+dummy)
+}
+
+// ParseRates parses a comma-separated rate set ("45,195,495") into the
+// ascending cycle values Config.Rates expects — the flag format shared by
+// cmd/oramd and cmd/loadgen. Order and emptiness are left to Validate so
+// every misconfiguration surfaces through one error path.
+func ParseRates(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad rate %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("server: empty rate set")
+	}
+	return out, nil
 }
 
 // enforcerFor builds the per-shard enforcer stack from the store config, or

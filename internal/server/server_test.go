@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"fmt"
+	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -271,6 +273,128 @@ func TestCoalescing(t *testing.T) {
 	}
 }
 
+// TestTakeGroupEarliestArrival pins the learner-input fix: the arrival a
+// coalesced group reports to the enforcer is the earliest stamp across the
+// whole group (Fig 4 semantics — every member's queueing time counts, and
+// the union of their waits is [min arrival, slot]), not whatever the FIFO
+// head happens to carry. Submitters stamp arrival before enqueueing, so a
+// member can legitimately carry an earlier stamp than the head.
+func TestTakeGroupEarliestArrival(t *testing.T) {
+	mk := func(local, arrival uint64) *request {
+		return &request{local: local, arrival: arrival, resp: make(chan result, 1)}
+	}
+	sh := &shard{}
+	sh.fifo = []*request{mk(7, 100), mk(3, 50), mk(7, 40), mk(7, 200)}
+
+	arrival := sh.takeGroup()
+	if arrival != 40 {
+		t.Errorf("group arrival = %d, want 40 (earliest member, not head's 100)", arrival)
+	}
+	if len(sh.group) != 3 {
+		t.Errorf("group size = %d, want 3", len(sh.group))
+	}
+	if len(sh.fifo) != 1 || sh.fifo[0].local != 3 {
+		t.Errorf("remaining fifo = %+v, want the single block-3 request", sh.fifo)
+	}
+	if got := sh.coalesced.Load(); got != 2 {
+		t.Errorf("coalesced = %d, want 2", got)
+	}
+}
+
+// TestCoalescedWaitsReachLearnerWaste drives the real pacing loop: requests
+// that pile up behind a slow slot grid and coalesce into one access must
+// still deposit their queueing time into the enforcer's Waste counter — the
+// signal the epoch learner reads to speed up under load.
+func TestCoalescedWaitsReachLearnerWaste(t *testing.T) {
+	cfg := Config{
+		Shards:      1,
+		Blocks:      64,
+		BlockBytes:  64,
+		ClockHz:     1_000_000,
+		ORAMLatency: 5_000,
+		Rates:       []uint64{95_000}, // 100 ms slot period: plenty to pile up
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	payload := make([]byte, 64)
+	FillPayload(payload, 7, 1, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := st.Write(7, payload); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the write enqueue first
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := st.Read(7); err != nil {
+				t.Errorf("read: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	c := st.shards[0].enf.Counters()
+	if c.AccessCount < 1 {
+		t.Fatalf("AccessCount = %d, want ≥ 1", c.AccessCount)
+	}
+	// The group arrived within the first few ms of a 100 ms slot wait: the
+	// learner must see on the order of the full slot period as Waste. (The
+	// generous lower bound keeps the assertion robust to CI jitter.)
+	if c.Waste < 50_000 {
+		t.Errorf("Waste = %d cycles, want ≥ 50000 (coalesced group queued ~100 ms)", c.Waste)
+	}
+	if _, _, coalesced := st.Stats().Totals(); coalesced < 3 {
+		t.Errorf("coalesced = %d, want ≥ 3", coalesced)
+	}
+}
+
+// TestShardStatsSurfaceGridSlip stalls a shard the honest way: a 1 µs slot
+// period at 1 GHz that no software ORAM access can hold, so the grid slips
+// behind the wall clock from the first slot and the catch-up counters must
+// say so in ShardStats.
+func TestShardStatsSurfaceGridSlip(t *testing.T) {
+	cfg := Config{
+		Shards:      1,
+		Blocks:      64,
+		BlockBytes:  64,
+		ClockHz:     1_000_000_000,
+		ORAMLatency: 200,
+		Rates:       []uint64{800}, // 1 µs period; an access costs several µs
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	time.Sleep(150 * time.Millisecond)
+	stats := st.Stats()
+	sh := stats.Shards[0]
+	if sh.DummyAccesses == 0 {
+		t.Fatal("stalled shard issued no accesses at all")
+	}
+	if sh.OverdueSlots == 0 {
+		t.Error("grid permanently behind wall clock but OverdueSlots = 0")
+	}
+	if sh.MaxLagCycles < 1000 {
+		t.Errorf("MaxLagCycles = %d, want ≥ one period (1000)", sh.MaxLagCycles)
+	}
+	overdue, lag := stats.Slip()
+	if overdue < sh.OverdueSlots || lag < sh.MaxLagCycles {
+		t.Errorf("Stats.Slip() = (%d, %d), below the shard's own (%d, %d)",
+			overdue, lag, sh.OverdueSlots, sh.MaxLagCycles)
+	}
+}
+
 func TestCloseFailsPendingAndFutureRequests(t *testing.T) {
 	cfg := Config{
 		Shards:      1,
@@ -371,15 +495,48 @@ func TestStatsSnapshot(t *testing.T) {
 }
 
 func TestConfigValidation(t *testing.T) {
-	if _, err := New(Config{Shards: -1}); err == nil {
-		t.Error("negative shards accepted")
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error New must return
+	}{
+		{"negative shards", Config{Shards: -1}, "Shards must be positive"},
+		{"descending rates", Config{Rates: []uint64{100, 50}}, "strictly ascending"},
+		{"duplicate rates", Config{Rates: []uint64{100, 100}}, "strictly ascending"},
+		{"oversized block", Config{BlockBytes: 1 << 20}, "wire protocol"},
+		{"negative queue", Config{QueueDepth: -1}, "QueueDepth"},
+		{"clock too fast", Config{ClockHz: 2_000_000_000}, "ClockHz"},
+		{"epoch growth 1", Config{EpochFirstLen: 1000, EpochGrowth: 1}, "EpochGrowth"},
+		{"negative leak budget", Config{LeakageBudgetBits: -4}, "LeakageBudgetBits"},
 	}
-	cfg := Config{Rates: []uint64{100, 50}} // not ascending
-	if _, err := New(cfg); err == nil {
-		t.Error("descending rate set accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.cfg)
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the bad field (want substring %q)", err, tc.want)
+			}
+		})
 	}
-	if _, err := New(Config{BlockBytes: 1 << 20}); err == nil {
-		t.Error("BlockBytes beyond the wire line limit accepted")
+
+	// Validate (pre-defaults) also rejects what withDefaults would paper
+	// over inside New, so direct callers get the same errors.
+	if err := (Config{Shards: 1, Blocks: 64, BlockBytes: 64, ClockHz: 1000, ORAMLatency: 10}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "empty rate set") {
+		t.Errorf("empty rate set not rejected by Validate: %v", err)
+	}
+	if err := (Config{Shards: 1, Blocks: 64, BlockBytes: 64, ClockHz: 1000, Rates: []uint64{50}}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "ORAMLatency") {
+		t.Errorf("zero ORAMLatency not rejected by Validate: %v", err)
+	}
+	// Unpaced mode ignores the enforcer fields entirely.
+	st, err := New(Config{Unpaced: true, ClockHz: 2_000_000_000})
+	if err != nil {
+		t.Errorf("unpaced config rejected on enforcer fields: %v", err)
+	} else {
+		st.Close()
 	}
 }
 
@@ -436,6 +593,122 @@ func TestDynamicScheduleAdaptsRate(t *testing.T) {
 		if !found {
 			t.Errorf("shard %d rate %d not in the allowed set %v", sh.Shard, sh.Rate, cfg.Rates)
 		}
+	}
+}
+
+// TestServerDynamicScheduleLeakageBounded is the server-level dynamic-
+// schedule acceptance test: a paced store with short epochs under sustained
+// load must cross epoch boundaries, land on a rate from R, and report a
+// leakage account that matches its own transition history and never exceeds
+// the paper's lg|R| × |E| bound.
+func TestServerDynamicScheduleLeakageBounded(t *testing.T) {
+	cfg := Config{
+		Shards:            1,
+		Blocks:            256,
+		BlockBytes:        64,
+		ClockHz:           1_000_000,
+		ORAMLatency:       5,
+		Rates:             []uint64{45, 195, 495, 995}, // |R| = 4 → lg|R| = 2 bits/epoch
+		InitialRate:       995,
+		EpochFirstLen:     20_000, // 20 ms, growth 2: boundaries at 20/60/140/300 ms
+		EpochGrowth:       2,
+		LeakageBudgetBits: 64,
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for i := uint64(0); time.Now().Before(deadline); i++ {
+		addr := i % 256
+		FillPayload(buf, addr, 0, i)
+		if err := st.Write(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Read(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := st.Stats()
+	sh := stats.Shards[0]
+	transitions := 0
+	for _, rc := range sh.RateChanges {
+		if rc.Epoch > 0 {
+			transitions++
+		}
+		found := false
+		for _, r := range cfg.Rates {
+			if rc.Rate == r {
+				found = true
+			}
+		}
+		if !found && rc.Epoch > 0 { // epoch 0 carries the (free-choice) initial rate
+			t.Errorf("epoch %d chose rate %d, not in R = %v", rc.Epoch, rc.Rate, cfg.Rates)
+		}
+	}
+	if transitions < 2 {
+		t.Fatalf("only %d epoch transitions in 400 ms of 20 ms-seeded epochs, want ≥ 2", transitions)
+	}
+	lgR := math.Log2(float64(len(cfg.Rates)))
+	wantBits := lgR * float64(transitions)
+	if math.Abs(sh.LeakedBits-wantBits) > 1e-9 {
+		t.Errorf("shard LeakedBits = %v, want transitions × lg|R| = %v", sh.LeakedBits, wantBits)
+	}
+	// The paper's bound: leakage never exceeds lg|R| × |E| for the epochs
+	// actually expended.
+	maxEpoch := sh.RateChanges[len(sh.RateChanges)-1].Epoch
+	if bound := lgR * float64(maxEpoch); sh.LeakedBits > bound+1e-9 {
+		t.Errorf("LeakedBits %v exceeds lg|R|×|E| = %v", sh.LeakedBits, bound)
+	}
+	if stats.LeakedBits != sh.LeakedBits {
+		t.Errorf("store LeakedBits = %v, single shard has %v", stats.LeakedBits, sh.LeakedBits)
+	}
+	if stats.LeakageExceeded {
+		t.Errorf("budget of %v bits flagged exceeded at %v leaked", cfg.LeakageBudgetBits, stats.LeakedBits)
+	}
+	if stats.LeakageBudgetBits != cfg.LeakageBudgetBits {
+		t.Errorf("budget echoed as %v, want %v", stats.LeakageBudgetBits, cfg.LeakageBudgetBits)
+	}
+}
+
+// TestLeakageBudgetTrips: a tiny budget must flag an overrun once epoch
+// transitions spend it. Transitions are clock events, so an idle store
+// spends budget too — each boundary still publishes a rate choice.
+func TestLeakageBudgetTrips(t *testing.T) {
+	st, err := New(Config{
+		Shards:            1,
+		Blocks:            64,
+		BlockBytes:        64,
+		ClockHz:           1_000_000,
+		ORAMLatency:       5,
+		Rates:             []uint64{45, 195, 495, 995},
+		EpochFirstLen:     10_000, // 10 ms, growth 2: boundaries at 10/30/70 ms
+		EpochGrowth:       2,
+		LeakageBudgetBits: 1, // first 2-bit transition blows it
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var stats Stats
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		time.Sleep(20 * time.Millisecond)
+		stats = st.Stats()
+		if stats.Transitions() > 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	if stats.Transitions() == 0 {
+		t.Fatal("no epoch transitions within 2 s of 10 ms-seeded epochs")
+	}
+	if !stats.LeakageExceeded {
+		t.Errorf("1-bit budget not flagged exceeded after %v bits leaked", stats.LeakedBits)
 	}
 }
 

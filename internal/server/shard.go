@@ -43,8 +43,6 @@ type shard struct {
 	coalesced atomic.Uint64
 	depth     atomic.Int64 // submitted but not yet completed
 	stashPeak atomic.Int64
-	rate      atomic.Uint64
-	epoch     atomic.Int64
 	failed    atomic.Bool // the shard's ORAM errored; it now rejects everything
 
 	// group is scratch for coalescing (loop-private).
@@ -62,9 +60,6 @@ func newShard(id int, o *pathoram.ORAM, cfg Config, stop chan struct{}) (*shard,
 		enf:   enf,
 		queue: make(chan *request, cfg.QueueDepth),
 		stop:  stop,
-	}
-	if enf != nil {
-		sh.rate.Store(enf.Rate())
 	}
 	return sh, nil
 }
@@ -108,8 +103,8 @@ func (sh *shard) run() {
 			}
 			sh.dummies.Add(1)
 		} else {
-			head := sh.takeGroup()
-			sh.enf.TakeSlot(head, true)
+			arrival := sh.takeGroup()
+			sh.enf.TakeSlot(arrival, true)
 			if err := sh.serveGroup(); err != nil {
 				sh.fail(err)
 				return
@@ -179,15 +174,25 @@ func (sh *shard) fill() {
 
 // takeGroup removes the FIFO head plus every queued request for the same
 // block (coalescing), preserving the order of both the group and the
-// remaining FIFO. It returns the head's arrival cycle.
+// remaining FIFO. It returns the group's earliest arrival cycle: per the
+// Fig 4 Waste semantics every coalesced member's queueing time counts, and
+// since all the members' wait intervals end at the same slot, their union
+// is exactly [min arrival, slot] — passing only the head's arrival would
+// let a member that was stamped earlier (submitters race between stamping
+// and enqueueing) slip out of the learner's Waste and underestimate demand
+// exactly when load is high enough to coalesce.
 func (sh *shard) takeGroup() (arrival uint64) {
 	head := sh.fifo[0]
 	sh.group = sh.group[:0]
 	sh.group = append(sh.group, head)
+	arrival = head.arrival
 	keep := sh.fifo[:1][:0] // filter in place over the same backing array
 	for _, req := range sh.fifo[1:] {
 		if req.local == head.local {
 			sh.group = append(sh.group, req)
+			if req.arrival < arrival {
+				arrival = req.arrival
+			}
 		} else {
 			keep = append(keep, req)
 		}
@@ -200,7 +205,7 @@ func (sh *shard) takeGroup() (arrival uint64) {
 	if n := len(sh.group) - 1; n > 0 {
 		sh.coalesced.Add(uint64(n))
 	}
-	return head.arrival
+	return arrival
 }
 
 // serveGroup applies the coalesced group in arrival order within a single
@@ -260,23 +265,32 @@ func (sh *shard) drain() {
 func (sh *shard) publishStats() {
 	_, peak := sh.oram.StashOccupancy()
 	sh.stashPeak.Store(int64(peak))
-	if sh.enf != nil {
-		sh.rate.Store(sh.enf.Rate())
-		sh.epoch.Store(int64(sh.enf.Epoch()))
-	}
 }
 
-// stats snapshots the shard's counters.
+// stats snapshots the shard's counters. Every enforcer-side field (rate,
+// epoch, slip counters, rate-change history) comes from the WallEnforcer's
+// own mutex-guarded state in one pass, so a snapshot is self-consistent:
+// Rate always matches the last RateChanges entry even when a transition
+// fired mid-slot, before the serving loop got back around.
 func (sh *shard) stats() ShardStats {
-	return ShardStats{
+	ss := ShardStats{
 		Shard:         sh.id,
 		Queue:         int(sh.depth.Load()),
 		RealAccesses:  sh.reals.Load(),
 		DummyAccesses: sh.dummies.Load(),
 		Coalesced:     sh.coalesced.Load(),
-		Rate:          sh.rate.Load(),
-		Epoch:         int(sh.epoch.Load()),
 		StashPeak:     int(sh.stashPeak.Load()),
 		Failed:        sh.failed.Load(),
 	}
+	if sh.enf != nil {
+		ss.OverdueSlots, ss.MaxLagCycles = sh.enf.Slip()
+		ss.RateChanges = sh.enf.RateChanges()
+		// The enforcer sets its rate and the history entry together, so the
+		// last entry (never absent: epoch 0 is recorded at construction) is
+		// the in-force rate — deriving both from one snapshot keeps Rate
+		// and RateChanges from ever contradicting each other.
+		last := ss.RateChanges[len(ss.RateChanges)-1]
+		ss.Rate, ss.Epoch = last.Rate, last.Epoch
+	}
+	return ss
 }

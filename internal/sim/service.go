@@ -67,6 +67,13 @@ type ServiceReport struct {
 	RealAccesses  uint64
 	DummyAccesses uint64
 
+	// RateChanges counts the epoch transitions that occurred across shards
+	// during the scenario — each one an observable lg|R|-bit rate choice —
+	// and LeakedBits is the corresponding ORAM-timing-channel leakage. Both
+	// are zero under a static schedule.
+	RateChanges uint64
+	LeakedBits  float64
+
 	// Lost counts requests that errored or timed out; Corrupted counts reads
 	// whose payload failed validation.
 	Lost      uint64
@@ -104,6 +111,8 @@ func (r ServiceReport) Row(t *stats.Table) {
 		r.Latency.P95.Round(time.Microsecond).String(),
 		r.Latency.P99.Round(time.Microsecond).String(),
 		fmt.Sprintf("%.3f", r.DummyFraction()),
+		r.RateChanges,
+		fmt.Sprintf("%.1f", r.LeakedBits),
 		r.Lost,
 		r.Corrupted,
 	)
@@ -113,5 +122,5 @@ func (r ServiceReport) Row(t *stats.Table) {
 func ServiceReportTable(title string) *stats.Table {
 	return stats.NewTable(title,
 		"scenario", "clients", "shards", "ops", "ops/s",
-		"p50", "p95", "p99", "dummy-frac", "lost", "corrupt")
+		"p50", "p95", "p99", "dummy-frac", "rate-chg", "leak-bits", "lost", "corrupt")
 }

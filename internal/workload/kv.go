@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // This file extends the workload package from instruction streams to
@@ -10,12 +11,18 @@ import (
 // concurrent ORAM service with the same deterministic, seed-reproducible
 // discipline the simulator's benchmarks use. Scenario shapes follow the
 // standard KV-store evaluation patterns (uniform, zipfian hot set,
-// read-mostly, sequential scan).
+// read-mostly, sequential scan) plus three phase-shifting shapes (bursty,
+// on/off, ramp) whose offered load changes over wall time — the workloads
+// that exercise the paper's dynamic epoch learner, whose whole job is to
+// track a program's changing ORAM demand.
 
-// KVOp is one key-value operation against the service.
+// KVOp is one key-value operation against the service. Pause is think time
+// the driver sleeps before issuing the op: zero for the steady scenarios,
+// nonzero in the phase-shifting ones to shape offered load over time.
 type KVOp struct {
 	Addr  uint64
 	Write bool
+	Pause time.Duration
 }
 
 // KVStream generates a deterministic sequence of operations. Streams are
@@ -41,12 +48,36 @@ const (
 	// with occasional writes — the pattern that stresses shard routing's
 	// round-robin spread.
 	KVScan KVScenario = "scan"
+	// KVBursty alternates short back-to-back bursts with think-time gaps:
+	// the arrival process §7.3's shift-predictor bias is designed for.
+	KVBursty KVScenario = "bursty"
+	// KVOnOff holds a sustained busy phase, goes quiet, and repeats — the
+	// square-wave load that forces the learner to swing between its fastest
+	// and slowest useful rates.
+	KVOnOff KVScenario = "onoff"
+	// KVRamp starts with long per-op think times and halves them phase by
+	// phase until the client issues back-to-back: offered load ramps up
+	// geometrically, and a working learner should walk down the rate set
+	// behind it.
+	KVRamp KVScenario = "ramp"
 )
 
 // KVScenarios lists every scenario, in the order loadgen runs them.
 func KVScenarios() []KVScenario {
-	return []KVScenario{KVUniform, KVZipf, KVReadMostly, KVScan}
+	return []KVScenario{KVUniform, KVZipf, KVReadMostly, KVScan, KVBursty, KVOnOff, KVRamp}
 }
+
+// Phase-shape constants. Op counts and think times are per client; the
+// values keep a few-hundred-op CI run inside a couple hundred milliseconds
+// of deliberate idling while still giving the learner distinct load phases.
+const (
+	burstyLen = 16                    // ops per burst
+	burstyGap = 5 * time.Millisecond  // idle gap between bursts
+	onOffLen  = 48                    // ops per busy phase
+	onOffGap  = 30 * time.Millisecond // quiet phase between busy phases
+	rampPhase = 32                    // ops per ramp phase
+	rampStart = 4 * time.Millisecond  // per-op think time in phase 0, halved each phase
+)
 
 // writeFraction returns the scenario's share of writes.
 func (s KVScenario) writeFraction() float64 {
@@ -68,6 +99,7 @@ type kvStream struct {
 	zipf     *rand.Zipf
 	writeThr uint32 // write probability in 1/2^32 units
 	cursor   uint64 // scan position
+	n        uint64 // ops emitted so far (phase-shifting shapes)
 }
 
 // NewKVStream builds a deterministic operation stream over [0, blocks) for
@@ -87,7 +119,7 @@ func NewKVStream(scenario KVScenario, blocks uint64, seed int64, start uint64) (
 		cursor:   start % blocks,
 	}
 	switch scenario {
-	case KVUniform, KVReadMostly, KVScan:
+	case KVUniform, KVReadMostly, KVScan, KVBursty, KVOnOff, KVRamp:
 	case KVZipf:
 		// s=1.1, v=1 over the whole space: a small hot set absorbs most
 		// accesses while the tail keeps every shard warm.
@@ -114,5 +146,31 @@ func (s *kvStream) Next() KVOp {
 		addr = s.rng.Uint64() % s.blocks
 	}
 	write := uint32(s.rng.Uint64()) < s.writeThr
-	return KVOp{Addr: addr, Write: write}
+	op := KVOp{Addr: addr, Write: write, Pause: s.pause()}
+	s.n++
+	return op
+}
+
+// pause derives the op's think time from its position in the stream — a
+// pure function of the op index, so identical seeds still replay
+// identically.
+func (s *kvStream) pause() time.Duration {
+	switch s.scenario {
+	case KVBursty:
+		// The gap lands on the first op of each burst after the initial one.
+		if s.n > 0 && s.n%burstyLen == 0 {
+			return burstyGap
+		}
+	case KVOnOff:
+		if s.n > 0 && s.n%onOffLen == 0 {
+			return onOffGap
+		}
+	case KVRamp:
+		// Every op of phase p thinks rampStart >> p; past ~20 phases the
+		// shift saturates to zero (back-to-back).
+		if phase := s.n / rampPhase; phase < 20 {
+			return rampStart >> phase
+		}
+	}
+	return 0
 }

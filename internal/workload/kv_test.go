@@ -87,6 +87,88 @@ func TestKVScanSweepsSequentially(t *testing.T) {
 	}
 }
 
+// TestKVSteadyScenariosNeverPause: the original four shapes must stay
+// think-time-free — drivers replay them at full speed.
+func TestKVSteadyScenariosNeverPause(t *testing.T) {
+	for _, sc := range []KVScenario{KVUniform, KVZipf, KVReadMostly, KVScan} {
+		s, err := NewKVStream(sc, 256, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			if p := s.Next().Pause; p != 0 {
+				t.Fatalf("%s: op %d has pause %v, want 0", sc, i, p)
+			}
+		}
+	}
+}
+
+// TestKVPhaseShapes pins the think-time structure of the phase-shifting
+// scenarios: bursty and on/off pause exactly once per phase boundary, ramp
+// halves its per-op think time each phase down to zero.
+func TestKVPhaseShapes(t *testing.T) {
+	next := func(t *testing.T, sc KVScenario) func() KVOp {
+		s, err := NewKVStream(sc, 256, 9, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Next
+	}
+
+	t.Run("bursty", func(t *testing.T) {
+		n := next(t, KVBursty)
+		for i := 0; i < 4*burstyLen; i++ {
+			op := n()
+			wantGap := i > 0 && i%burstyLen == 0
+			if gotGap := op.Pause > 0; gotGap != wantGap {
+				t.Fatalf("op %d pause = %v, want gap=%v", i, op.Pause, wantGap)
+			}
+			if wantGap && op.Pause != burstyGap {
+				t.Fatalf("op %d gap = %v, want %v", i, op.Pause, burstyGap)
+			}
+		}
+	})
+
+	t.Run("onoff", func(t *testing.T) {
+		n := next(t, KVOnOff)
+		gaps := 0
+		for i := 0; i < 3*onOffLen; i++ {
+			if op := n(); op.Pause > 0 {
+				if op.Pause != onOffGap {
+					t.Fatalf("op %d gap = %v, want %v", i, op.Pause, onOffGap)
+				}
+				gaps++
+			}
+		}
+		if gaps != 2 {
+			t.Fatalf("%d quiet phases in 3 busy phases of ops, want 2", gaps)
+		}
+	})
+
+	t.Run("ramp", func(t *testing.T) {
+		n := next(t, KVRamp)
+		for phase := 0; phase < 4; phase++ {
+			want := rampStart >> phase
+			for i := 0; i < rampPhase; i++ {
+				if op := n(); op.Pause != want {
+					t.Fatalf("phase %d op %d pause = %v, want %v", phase, i, op.Pause, want)
+				}
+			}
+		}
+		// Far into the stream the ramp saturates at zero think time.
+		s, err := NewKVStream(KVRamp, 256, 9, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 21*rampPhase; i++ {
+			s.Next()
+		}
+		if op := s.Next(); op.Pause != 0 {
+			t.Fatalf("ramp tail pause = %v, want 0", op.Pause)
+		}
+	})
+}
+
 func TestKVStreamRejectsBadInput(t *testing.T) {
 	if _, err := NewKVStream(KVUniform, 0, 1, 0); err == nil {
 		t.Error("blocks=0 accepted")
