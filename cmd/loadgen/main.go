@@ -17,6 +17,11 @@
 //
 //	loadgen -scenario ramp -ops 400 \
 //	        -rates 100,400,1600,6400 -epoch 200000 -growth 2 -leak-budget 64
+//
+// The recursive, integrity-checked backend (address spaces past a flat
+// position map; every level Merkle-verified) serves behind the same flags:
+//
+//	loadgen -oram recursive -integrity -olat 300 -rates 2700
 package main
 
 import (
@@ -45,6 +50,9 @@ func main() {
 
 		// In-process server shape (ignored with -addr).
 		shards     = flag.Int("shards", 4, "in-process: shard count")
+		oram       = flag.String("oram", "flat", "in-process: per-shard ORAM backend: flat | recursive")
+		recursion  = flag.Int("recursion", 3, "in-process: position-map ORAM levels for -oram=recursive")
+		integrity  = flag.Bool("integrity", false, "in-process: Merkle-verify every level's untrusted storage")
 		rates      = flag.String("rates", "85", "in-process: comma-separated rate set (cycles, ascending; one value = static)")
 		olat       = flag.Uint64("olat", 15, "in-process: ORAM latency in cycles")
 		epochLen   = flag.Uint64("epoch", 0, "in-process: first epoch length in cycles (0 = static rate)")
@@ -63,6 +71,9 @@ func main() {
 			Shards:            *shards,
 			Blocks:            *blocks,
 			BlockBytes:        *blockBytes,
+			Backend:           *oram,
+			Recursion:         *recursion,
+			Integrity:         *integrity,
 			ClockHz:           1_000_000,
 			ORAMLatency:       *olat,
 			Rates:             rateSet,
@@ -85,8 +96,8 @@ func main() {
 		if *epochLen > 0 {
 			mode = fmt.Sprintf("dynamic epochs (first %d, growth %d)", *epochLen, *growth)
 		}
-		fmt.Printf("loadgen: started in-process oramd (%d shards, rates %v, %s) on %s\n",
-			*shards, rateSet, mode, target)
+		fmt.Printf("loadgen: started in-process oramd (%d %s shards, rates %v, %s) on %s\n",
+			*shards, st.Config().BackendLabel(), rateSet, mode, target)
 	}
 
 	scenarios, err := pickScenarios(*scenario)

@@ -7,6 +7,8 @@
 //	oramd -addr :7312 -rates 85 -olat 15                 # static 100 µs slots
 //	oramd -addr :7312 -rates 100,400,1600,6400 \
 //	      -epoch 200000 -growth 2 -leak-budget 64        # dynamic epoch learner
+//	oramd -addr :7312 -oram recursive -integrity \
+//	      -blocks 1048576 -rates 2700                    # recursive stacks, Merkle-verified
 //	oramd -addr :7312 -unpaced                           # no timing protection
 package main
 
@@ -28,6 +30,9 @@ func main() {
 		blocks     = flag.Uint64("blocks", 65536, "total address space in blocks")
 		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block")
 		z          = flag.Int("z", 3, "bucket capacity Z")
+		oram       = flag.String("oram", "flat", "per-shard ORAM backend: flat | recursive")
+		recursion  = flag.Int("recursion", 3, "position-map ORAM levels for -oram=recursive")
+		integrity  = flag.Bool("integrity", false, "Merkle-verify every level's untrusted storage")
 		queue      = flag.Int("queue", 256, "per-shard request queue depth")
 		seed       = flag.Int64("seed", 1, "deterministic construction seed")
 		hz         = flag.Uint64("hz", 1_000_000, "enforcer cycle frequency (cycles/s)")
@@ -49,6 +54,9 @@ func main() {
 		Blocks:            *blocks,
 		BlockBytes:        *blockBytes,
 		Z:                 *z,
+		Backend:           *oram,
+		Recursion:         *recursion,
+		Integrity:         *integrity,
 		QueueDepth:        *queue,
 		Seed:              *seed,
 		ClockHz:           *hz,
@@ -75,8 +83,8 @@ func main() {
 	} else if eff.EpochFirstLen > 0 {
 		mode += fmt.Sprintf(", dynamic epochs (first %d, growth %d)", eff.EpochFirstLen, eff.EpochGrowth)
 	}
-	fmt.Printf("oramd: serving %d blocks × %d B over %d shards on %s — %s\n",
-		eff.Blocks, eff.BlockBytes, eff.Shards, l.Addr(), mode)
+	fmt.Printf("oramd: serving %d blocks × %d B over %d %s shards on %s — %s\n",
+		eff.Blocks, eff.BlockBytes, eff.Shards, eff.BackendLabel(), l.Addr(), mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

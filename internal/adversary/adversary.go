@@ -13,6 +13,7 @@ package adversary
 
 import (
 	"bytes"
+	"math"
 
 	"tcoram/internal/core"
 	"tcoram/internal/pathoram"
@@ -113,6 +114,43 @@ func BitsRecovered(secret, decoded []bool) int {
 		}
 	}
 	return n
+}
+
+// ScheduleReconstruction is what the §2.2.1 timing adversary recovers from
+// watching a dynamic-rate session's slot grid: slot spacing directly
+// reveals the rate in force, so the observable trace decomposes into a
+// per-epoch rate sequence — one |R|-way choice per transition — and nothing
+// more. The server exports the same information as ShardStats.RateChanges;
+// reconstructing from that history and comparing against the service's own
+// leakage account validates the account against the adversary's view.
+type ScheduleReconstruction struct {
+	// Rates is the reconstructed per-epoch rate sequence, epoch 0 first.
+	Rates []uint64
+	// Transitions counts the observable epoch transitions. Epoch 0's rate
+	// is published before execution (the paper allows any public initial
+	// value), so it is not a choice and carries no information.
+	Transitions int
+	// Bits is the information content of the reconstruction: lg|R| per
+	// transition, computed here from first principles so the comparison
+	// against the service's accountant is an independent check rather than
+	// the same formula evaluated twice by shared code.
+	Bits float64
+}
+
+// ReconstructSchedule replays a rate-change history the way the timing
+// adversary would consume the observable slot grid of a live run.
+func ReconstructSchedule(history []core.RateChange, numRates int) ScheduleReconstruction {
+	var rec ScheduleReconstruction
+	for _, rc := range history {
+		rec.Rates = append(rec.Rates, rc.Rate)
+		if rc.Epoch > 0 {
+			rec.Transitions++
+		}
+	}
+	if numRates > 1 {
+		rec.Bits = float64(rec.Transitions) * math.Log2(float64(numRates))
+	}
+	return rec
 }
 
 // ReplayAttacker models §4.3: each replay of an L-bit-bounded execution

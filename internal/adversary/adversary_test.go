@@ -144,6 +144,63 @@ func TestMaliciousProgramDefeatedByEnforcer(t *testing.T) {
 	}
 }
 
+func TestReconstructSchedule(t *testing.T) {
+	hist := []core.RateChange{
+		{Cycle: 0, Rate: 995, Epoch: 0},
+		{Cycle: 1000, Rate: 45, Epoch: 1},
+		{Cycle: 3000, Rate: 195, Epoch: 2},
+	}
+	rec := ReconstructSchedule(hist, 4)
+	if rec.Transitions != 2 {
+		t.Fatalf("Transitions = %d, want 2 (epoch 0 is not a choice)", rec.Transitions)
+	}
+	if rec.Bits != 4 { // 2 transitions × lg 4
+		t.Fatalf("Bits = %v, want 4", rec.Bits)
+	}
+	if len(rec.Rates) != 3 || rec.Rates[0] != 995 || rec.Rates[2] != 195 {
+		t.Fatalf("Rates = %v", rec.Rates)
+	}
+	// A static run (epoch 0 only) reveals nothing; so does |R| = 1, where
+	// the single "choice" carries lg 1 = 0 bits.
+	if rec := ReconstructSchedule(hist[:1], 4); rec.Transitions != 0 || rec.Bits != 0 {
+		t.Fatalf("static run reconstruction = %+v, want no information", rec)
+	}
+	if rec := ReconstructSchedule(hist, 1); rec.Bits != 0 {
+		t.Fatalf("|R|=1 reconstruction leaked %v bits", rec.Bits)
+	}
+}
+
+// TestReconstructScheduleMatchesEnforcer replays a real enforcer's
+// published history and checks the reconstruction agrees with the
+// enforcer's own state — the simulator-side half of the validation the
+// server e2e test performs on a live run.
+func TestReconstructScheduleMatchesEnforcer(t *testing.T) {
+	rates := []uint64{50, 200, 800}
+	enf, err := core.NewEnforcer(core.EnforcerConfig{
+		ORAMLatency: 100,
+		Rates:       rates,
+		InitialRate: 800,
+		Schedule:    core.EpochSchedule{FirstLen: 4000, Growth: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done uint64
+	for i := 0; i < 300; i++ {
+		done = enf.Fetch(done+50, uint64(i))
+	}
+	rec := ReconstructSchedule(enf.RateChanges(), len(rates))
+	if rec.Transitions != enf.Epoch() {
+		t.Fatalf("reconstructed %d transitions, enforcer is in epoch %d", rec.Transitions, enf.Epoch())
+	}
+	if rec.Transitions == 0 {
+		t.Fatal("run crossed no epoch boundary — test exercises nothing")
+	}
+	if last := rec.Rates[len(rec.Rates)-1]; last != enf.Rate() {
+		t.Fatalf("reconstructed final rate %d, enforcer at %d", last, enf.Rate())
+	}
+}
+
 func TestReplayAttackerAccumulates(t *testing.T) {
 	r := ReplayAttacker{PerRunBits: 32, Runs: 4}
 	if r.TotalBits() != 128 {

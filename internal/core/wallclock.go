@@ -56,12 +56,20 @@ func (c *CycleClock) Cycles(t time.Time) uint64 {
 // Now returns the current cycle.
 func (c *CycleClock) Now() uint64 { return c.Cycles(time.Now()) }
 
-// TimeOf returns the wall time at which the given cycle begins.
+// TimeOf returns the wall time at which the given cycle begins. The exact
+// boundary is the rational instant epoch + cycle/hz seconds; when hz does
+// not divide the nanosecond grid the conversion rounds UP to the next
+// representable nanosecond. Flooring here would report a slot open up to
+// one cycle before its nominal start, and the pacing loop — which sleeps
+// Until(slot) and then issues — would perturb the data-independent grid by
+// issuing early. Ceiling keeps TimeOf(cycle) ≥ the true boundary while
+// Cycles (which floors) still maps it back to the same cycle, since the
+// rounding adds strictly less than one cycle at any hz ≤ 1e9.
 func (c *CycleClock) TimeOf(cycle uint64) time.Time {
 	secs := cycle / c.hz
 	rem := cycle % c.hz
 	return c.epoch.Add(time.Duration(secs)*time.Second +
-		time.Duration(rem*uint64(time.Second)/c.hz))
+		time.Duration((rem*uint64(time.Second)+c.hz-1)/c.hz))
 }
 
 // Until returns how long from now until the given cycle begins (non-positive

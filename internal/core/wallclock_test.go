@@ -35,6 +35,64 @@ func TestCycleClockRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTimeOfNeverBeforeSlotBoundary pins the early-slot-issue fix: the old
+// TimeOf floor-rounded the sub-second remainder (rem·1e9/hz), so for any hz
+// that does not divide the nanosecond grid, Until/NextSlot could report a
+// slot open up to one cycle before its exact rational boundary and the
+// pacing loop would issue it early. TimeOf must round up: for every cycle c,
+// TimeOf(c) ≥ epoch + c/hz seconds (checked in exact integer arithmetic as
+// ns·hz ≥ c·1e9), while staying strictly less than one cycle late so the
+// Cycles round trip is preserved.
+func TestTimeOfNeverBeforeSlotBoundary(t *testing.T) {
+	epoch := time.Unix(0, 0)
+	for _, hz := range []uint64{1, 3, 7, 85, 999_983, 1_000_000, 999_999_937, 1_000_000_000} {
+		c, err := NewCycleClockAt(hz, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cycle := range []uint64{0, 1, 2, 3, 5, 86, 1000, 12_345} {
+			ns := uint64(c.TimeOf(cycle).Sub(epoch).Nanoseconds())
+			// Exact boundary: cycle/hz seconds. Cross-multiplied, never early:
+			if ns*hz < cycle*1_000_000_000 {
+				t.Errorf("hz=%d: TimeOf(%d) = %d ns is before the exact boundary %d/%d s",
+					hz, cycle, ns, cycle, hz)
+			}
+			// ...and never a full cycle late:
+			if ns > 0 && (ns-1)*hz >= (cycle+1)*1_000_000_000 {
+				t.Errorf("hz=%d: TimeOf(%d) = %d ns overshoots cycle %d entirely", hz, cycle, ns, cycle+1)
+			}
+			if back := c.Cycles(c.TimeOf(cycle)); back != cycle {
+				t.Errorf("hz=%d: Cycles(TimeOf(%d)) = %d", hz, cycle, back)
+			}
+		}
+	}
+
+	// Through the wall-clock adapter: the slot NextSlot promises must not be
+	// reported open (wait ≤ 0) before its exact boundary. With hz = 3 every
+	// cycle boundary is a non-terminating fraction of a second, the case the
+	// floor rounding got wrong.
+	e, err := NewEnforcer(EnforcerConfig{ORAMLatency: 1, Rates: []uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := NewCycleClockAt(3, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWallEnforcer(e, clock)
+	for i := 0; i < 10; i++ {
+		slot, wait := w.NextSlot()
+		slotNs := uint64(clock.TimeOf(slot).Sub(clock.Epoch()).Nanoseconds())
+		if slotNs*3 < slot*1_000_000_000 {
+			t.Fatalf("TimeOf(NextSlot()=%d) = %d ns precedes the exact slot boundary", slot, slotNs)
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		w.TakeSlot(0, false)
+	}
+}
+
 func TestCycleClockRejectsBadHz(t *testing.T) {
 	if _, err := NewCycleClock(0); err == nil {
 		t.Error("hz=0 accepted")

@@ -189,4 +189,14 @@ func TestRecursiveAccessAllocBudget(t *testing.T) {
 	}); n > 1 {
 		t.Fatalf("Recursive.Access(OpWrite) allocates %.1f times per op, want ≤ 1", n)
 	}
+	// Reads reuse the stack's scratch result buffer: steady state allocates
+	// nothing (the old code made a fresh result slice every call).
+	if n := testing.AllocsPerRun(200, func() {
+		if _, err := r.Access(OpRead, addr%512, nil); err != nil {
+			t.Fatal(err)
+		}
+		addr++
+	}); n > 0 {
+		t.Fatalf("Recursive.Access(OpRead) allocates %.1f times per op, want 0 (reused scratch)", n)
+	}
 }

@@ -112,6 +112,21 @@ func (rr randReader) Read(p []byte) (int, error) {
 // Geometry returns the tree shape.
 func (o *ORAM) Geometry() Geometry { return o.geom }
 
+// Blocks returns the addressable block capacity of the tree — the flat
+// counterpart of Recursive.Blocks, so both satisfy the server's backend
+// geometry surface.
+func (o *ORAM) Blocks() uint64 { return o.geom.Capacity() }
+
+// BlockBytes returns the block payload size.
+func (o *ORAM) BlockBytes() int { return o.geom.BlockBytes }
+
+// LevelStashPeaks appends the peak stash occupancy of each ORAM level to
+// dst — a single level for a flat ORAM — and returns the extended slice
+// (the multi-level counterpart lives on Recursive).
+func (o *ORAM) LevelStashPeaks(dst []int) []int {
+	return append(dst, o.stash.MaxOccupancy())
+}
+
 // Storage exposes the untrusted memory (the adversary's vantage point).
 func (o *ORAM) Storage() *ByteStorage { return o.store }
 

@@ -112,6 +112,11 @@ type Recursive struct {
 	// indexed by block number, unassignedLabel for never-touched entries.
 	onChip []uint32
 	rng    *rand.Rand
+	// readBuf is the reused read-result scratch: Access(OpRead) copies the
+	// block into it and returns it, so the steady-state recursive hot path
+	// allocates nothing. The returned slice is only valid until the next
+	// access.
+	readBuf []byte
 
 	Accesses      uint64
 	DummyAccesses uint64
@@ -139,10 +144,11 @@ func NewRecursive(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand) (*Recursiv
 		onChip[i] = unassignedLabel
 	}
 	return &Recursive{
-		cfg:    cfg,
-		orams:  orams,
-		onChip: onChip,
-		rng:    rng,
+		cfg:     cfg,
+		orams:   orams,
+		onChip:  onChip,
+		rng:     rng,
+		readBuf: make([]byte, cfg.DataBlockBytes),
 	}, nil
 }
 
@@ -151,6 +157,47 @@ func (r *Recursive) Config() RecursiveConfig { return r.cfg }
 
 // DataORAM exposes the data-level ORAM (test hook).
 func (r *Recursive) DataORAM() *ORAM { return r.orams[0] }
+
+// Blocks returns the addressable data-block count — the stack's geometry as
+// seen by a client of the data address space.
+func (r *Recursive) Blocks() uint64 { return r.cfg.DataBlocks }
+
+// BlockBytes returns the data-block payload size.
+func (r *Recursive) BlockBytes() int { return r.cfg.DataBlockBytes }
+
+// EnableIntegrity attaches Merkle verification to every level of the stack —
+// the data ORAM and each position-map ORAM — so tampering with any tree,
+// including the recursion's metadata trees, fails the next path read. Must
+// precede all accesses (each level's ORAM enforces this).
+func (r *Recursive) EnableIntegrity() {
+	for _, o := range r.orams {
+		o.EnableIntegrity()
+	}
+}
+
+// StashOccupancy aggregates stash sizes across the stack: the current total
+// over all levels, and the sum of per-level peaks (an upper bound on any
+// simultaneous total, which is what an on-chip SRAM budget must provision
+// for since every level's stash coexists in the controller).
+func (r *Recursive) StashOccupancy() (cur, peak int) {
+	for _, o := range r.orams {
+		c, p := o.StashOccupancy()
+		cur += c
+		peak += p
+	}
+	return cur, peak
+}
+
+// LevelStashPeaks appends each level's peak stash occupancy to dst — index
+// 0 is the data ORAM, followed by position-map ORAMs from largest to
+// smallest — and returns the extended slice.
+func (r *Recursive) LevelStashPeaks(dst []int) []int {
+	for _, o := range r.orams {
+		_, p := o.StashOccupancy()
+		dst = append(dst, p)
+	}
+	return dst
+}
 
 // posMapLevel reads-and-remaps the label for (level, index) where level 0 is
 // the data ORAM's position map (stored in orams[1]) and the deepest level is
@@ -225,34 +272,53 @@ func (o *ORAM) accessAt(addr uint64, curLeaf uint32, newLeaf uint64, mutate func
 	return nil
 }
 
-// Access performs one recursive ORAM access for the given data block.
-func (r *Recursive) Access(op Op, addr uint64, data []byte) ([]byte, error) {
+// Update performs one recursive ORAM access that applies fn to the data
+// block's payload while it sits in the data ORAM's stash: a read-modify-
+// write through the whole stack in a single all-levels traversal. fn may
+// inspect the current contents (zeroes if never written) and mutate them in
+// place; it must not retain the slice past the call. This is the same RMW
+// contract as ORAM.Update, which lets the server's request coalescing work
+// identically over flat and recursive shard backends.
+func (r *Recursive) Update(addr uint64, fn func(data []byte)) error {
 	if addr >= r.cfg.DataBlocks {
-		return nil, fmt.Errorf("pathoram: data block %d out of range (%d blocks)", addr, r.cfg.DataBlocks)
-	}
-	if op == OpWrite && len(data) != r.cfg.DataBlockBytes {
-		return nil, fmt.Errorf("pathoram: write payload is %d bytes, want %d", len(data), r.cfg.DataBlockBytes)
+		return fmt.Errorf("pathoram: data block %d out of range (%d blocks)", addr, r.cfg.DataBlocks)
 	}
 	dataORAM := r.orams[0]
 	newLeaf := uint32(r.rng.Int63n(int64(dataORAM.Geometry().Leaves())))
 	curLeaf, err := r.lookupAndRemap(0, addr, newLeaf)
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if err := dataORAM.accessAt(addr, curLeaf, uint64(newLeaf), fn); err != nil {
+		return err
+	}
+	r.Accesses++
+	return nil
+}
+
+// Access performs one recursive ORAM access for the given data block. For
+// OpRead the returned slice is a reused scratch buffer, valid only until
+// the next access on this stack — copy it to retain.
+func (r *Recursive) Access(op Op, addr uint64, data []byte) ([]byte, error) {
+	if op == OpWrite && len(data) != r.cfg.DataBlockBytes {
+		return nil, fmt.Errorf("pathoram: write payload is %d bytes, want %d", len(data), r.cfg.DataBlockBytes)
 	}
 	var out []byte
-	err = dataORAM.accessAt(addr, curLeaf, uint64(newLeaf), func(buf []byte) {
+	err := r.Update(addr, func(buf []byte) {
 		switch op {
 		case OpWrite:
 			copy(buf, data)
 		case OpRead:
-			out = make([]byte, len(buf))
+			if cap(r.readBuf) < len(buf) {
+				r.readBuf = make([]byte, len(buf))
+			}
+			out = r.readBuf[:len(buf)]
 			copy(out, buf)
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	r.Accesses++
 	return out, nil
 }
 

@@ -2,6 +2,7 @@ package pathoram
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -111,6 +112,162 @@ func TestRecursiveFunctionalModel(t *testing.T) {
 				t.Fatalf("op %d: block %d read %x..., want %x...", i, addr, got[:4], want[:4])
 			}
 		}
+	}
+}
+
+// TestRecursiveUpdateRMW pins the recursive read-modify-write contract the
+// server's coalescing depends on: old contents visible inside fn, mutation
+// durable, one all-levels access per Update.
+func TestRecursiveUpdateRMW(t *testing.T) {
+	r := newTestRecursive(t, smallRecursiveConfig(), 30)
+
+	// Never-written block reads as zeroes through Update.
+	var seen []byte
+	if err := r.Update(3, func(data []byte) {
+		seen = append([]byte(nil), data...)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seen, make([]byte, 64)) {
+		t.Fatalf("fresh block not zero: %x", seen[:8])
+	}
+
+	want := bytes.Repeat([]byte{0xAB}, 64)
+	if _, err := r.Access(OpWrite, 9, want); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Accesses
+	dataBefore := r.DataORAM().Accesses
+	if err := r.Update(9, func(data []byte) {
+		if !bytes.Equal(data, want) {
+			t.Fatalf("Update saw %x..., want %x...", data[:4], want[:4])
+		}
+		data[0] = 0xCD
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Accesses != before+1 {
+		t.Fatalf("Update cost %d stack accesses, want 1", r.Accesses-before)
+	}
+	if r.DataORAM().Accesses != dataBefore+1 {
+		t.Fatalf("Update cost %d data-ORAM accesses, want 1", r.DataORAM().Accesses-dataBefore)
+	}
+	got, err := r.Access(OpRead, 9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want[0] = 0xCD
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after Update read %x..., want %x...", got[:4], want[:4])
+	}
+
+	if err := r.Update(r.Config().DataBlocks, nil); err == nil {
+		t.Error("Update accepted out-of-range address")
+	}
+}
+
+// TestRecursiveIntegrityAllLevels: with integrity enabled, tampering with
+// untrusted storage at ANY level of the stack — including a position-map
+// tree, whose contents are pure metadata — must fail the next access with
+// ErrIntegrity.
+func TestRecursiveIntegrityAllLevels(t *testing.T) {
+	for level := 0; level < 3; level++ {
+		r := newTestRecursive(t, smallRecursiveConfig(), 31+int64(level))
+		r.EnableIntegrity()
+		data := bytes.Repeat([]byte{0x7E}, 64)
+		for addr := uint64(0); addr < 32; addr++ {
+			if _, err := r.Access(OpWrite, addr, data); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Flip one byte of the root bucket of the chosen level's tree.
+		st := r.orams[level].Storage()
+		raw := st.BucketSlice(0)
+		raw[0] ^= 0xFF
+		var err error
+		for addr := uint64(0); addr < 32 && err == nil; addr++ {
+			_, err = r.Access(OpRead, addr, nil)
+		}
+		if !errors.Is(err, ErrIntegrity) {
+			t.Fatalf("level %d tamper: got %v, want ErrIntegrity", level, err)
+		}
+	}
+}
+
+func TestRecursiveEnableIntegrityMustPrecedeAccesses(t *testing.T) {
+	r := newTestRecursive(t, smallRecursiveConfig(), 35)
+	if _, err := r.Access(OpWrite, 0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableIntegrity after accesses did not panic")
+		}
+	}()
+	r.EnableIntegrity()
+}
+
+// TestRecursiveStashOccupancyAcrossLevels: the stack-level reporting sums
+// the per-level stashes, and LevelStashPeaks exposes one entry per level
+// (data ORAM first).
+func TestRecursiveStashOccupancyAcrossLevels(t *testing.T) {
+	cfg := smallRecursiveConfig()
+	r := newTestRecursive(t, cfg, 36)
+	data := make([]byte, 64)
+	for i := 0; i < 300; i++ {
+		if _, err := r.Access(OpWrite, uint64(i%int(cfg.DataBlocks)), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peaks := r.LevelStashPeaks(nil)
+	if len(peaks) != 1+cfg.Recursion {
+		t.Fatalf("LevelStashPeaks has %d entries, want %d", len(peaks), 1+cfg.Recursion)
+	}
+	sum := 0
+	for i, p := range peaks {
+		if p == 0 {
+			t.Errorf("level %d peak stash is 0 after 300 accesses", i)
+		}
+		sum += p
+	}
+	cur, peak := r.StashOccupancy()
+	if peak != sum {
+		t.Errorf("StashOccupancy peak = %d, want sum of level peaks %d", peak, sum)
+	}
+	if cur < 0 || cur > peak {
+		t.Errorf("current occupancy %d outside [0, %d]", cur, peak)
+	}
+	if r.Blocks() != cfg.DataBlocks || r.BlockBytes() != cfg.DataBlockBytes {
+		t.Errorf("geometry surface: Blocks=%d BlockBytes=%d, want %d/%d",
+			r.Blocks(), r.BlockBytes(), cfg.DataBlocks, cfg.DataBlockBytes)
+	}
+}
+
+func TestNewRecursiveShardSetDeterministicAndIndependent(t *testing.T) {
+	cfg := smallRecursiveConfig()
+	a, err := NewRecursiveShardSet(3, cfg, testKey(40), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRecursiveShardSet(3, cfg, testKey(40), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].DataORAM().Storage().ReadBucket(0), b[i].DataORAM().Storage().ReadBucket(0)) {
+			t.Fatalf("recursive shard %d differs across identical constructions", i)
+		}
+	}
+	if bytes.Equal(a[0].DataORAM().Storage().ReadBucket(0), a[1].DataORAM().Storage().ReadBucket(0)) {
+		t.Fatal("recursive shards 0 and 1 share an RNG stream")
+	}
+	if _, err := NewRecursiveShardSet(0, cfg, testKey(40), 1); err == nil {
+		t.Error("NewRecursiveShardSet accepted n=0")
+	}
+	bad := cfg
+	bad.DataBlocks = 0
+	if _, err := NewRecursiveShardSet(2, bad, testKey(40), 1); err == nil {
+		t.Error("NewRecursiveShardSet accepted invalid config")
 	}
 }
 

@@ -52,6 +52,31 @@ func NewShardSet(n int, g Geometry, key crypt.Key, seed int64) ([]*ORAM, error) 
 	return shards, nil
 }
 
+// NewRecursiveShardSet is NewShardSet for recursive stacks: n independent
+// Recursive ORAMs with identical configuration, encrypted under the same
+// session key, each with its own deterministic RNG stream (which every
+// level of that stack shares — a stack is single-goroutine like a flat
+// ORAM, and the shared-state audit above applies level by level because
+// NewRecursive builds each level through NewORAM). Identical (cfg, key,
+// seed) inputs rebuild byte-identical shard sets.
+func NewRecursiveShardSet(n int, cfg RecursiveConfig, key crypt.Key, seed int64) ([]*Recursive, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pathoram: shard count must be positive, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([]*Recursive, n)
+	for i := range shards {
+		r, err := NewRecursive(cfg, key, rand.New(rand.NewSource(shardSeed(seed, i))))
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: building recursive shard %d: %w", i, err)
+		}
+		shards[i] = r
+	}
+	return shards, nil
+}
+
 // shardSeed derives shard i's RNG seed from the set seed via splitmix64, so
 // adjacent shard indices get decorrelated streams.
 func shardSeed(seed int64, i int) int64 {

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+
+	"tcoram/internal/pathoram"
+)
+
+// Backend is the ORAM surface a shard's serving loop needs — the seam that
+// turns the service from "one hardcoded ORAM type" into a layered
+// architecture. A backend is owned by exactly one shard goroutine (the
+// shared-state audit in pathoram/shards.go); it must provide:
+//
+//   - Update: the single-access read-modify-write the request coalescing
+//     collapses a same-block batch into;
+//   - DummyAccess: an access indistinguishable on the bus from a real one,
+//     issued at idle slots to keep the grid data-independent;
+//   - EnableIntegrity: Merkle verification over the untrusted storage,
+//     before any accesses;
+//   - stash occupancy and geometry, for monitoring and sizing.
+//
+// Both *pathoram.ORAM (single level, flat position map) and
+// *pathoram.Recursive (the paper's §9.1.2 stack: position maps stored in
+// successively smaller ORAMs, final map on-chip) satisfy it; the compile-
+// time assertions below pin that.
+type Backend interface {
+	Update(addr uint64, fn func(data []byte)) error
+	DummyAccess() error
+	EnableIntegrity()
+	StashOccupancy() (cur, peak int)
+	LevelStashPeaks(dst []int) []int
+	Blocks() uint64
+	BlockBytes() int
+}
+
+var (
+	_ Backend = (*pathoram.ORAM)(nil)
+	_ Backend = (*pathoram.Recursive)(nil)
+)
+
+// Backend selector values for Config.Backend.
+const (
+	// BackendFlat serves each shard from a single-level ORAM with a flat
+	// in-memory position map: fastest, but position-map memory grows
+	// linearly with the address space.
+	BackendFlat = "flat"
+	// BackendRecursive serves each shard from a recursive Path ORAM stack:
+	// every access traverses all levels (the paper's all-levels traffic),
+	// but on-chip position-map state shrinks by the label fan-out per
+	// recursion level, serving address spaces a flat map can't hold.
+	BackendRecursive = "recursive"
+)
+
+// recursiveShardConfig derives the per-shard recursive stack shape from the
+// store config: each shard holds ceil(Blocks/Shards) data blocks, with the
+// paper's 32 B position-map blocks.
+func recursiveShardConfig(cfg Config) pathoram.RecursiveConfig {
+	perShard := (cfg.Blocks + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
+	return pathoram.RecursiveConfig{
+		DataBlocks:       perShard,
+		DataBlockBytes:   cfg.BlockBytes,
+		PosMapBlockBytes: 32,
+		Z:                cfg.Z,
+		Recursion:        cfg.Recursion,
+	}
+}
+
+// BackendLabel renders the effective backend configuration for human-
+// readable status lines ("flat", "recursive×3+integrity") — shared by both
+// CLIs so the description can't drift between them.
+func (c Config) BackendLabel() string {
+	label := c.Backend
+	if c.Backend == BackendRecursive {
+		label = fmt.Sprintf("recursive×%d", c.Recursion)
+	}
+	if c.Integrity {
+		label += "+integrity"
+	}
+	return label
+}
+
+// newBackends builds one per-shard ORAM backend of the configured kind,
+// with integrity enabled (before any access) when requested. Every backend
+// must address at least the shard's ceil(Blocks/Shards) share at the
+// configured block size — checked here so a mis-wired backend fails
+// construction instead of panicking mid-serve.
+func newBackends(cfg Config) ([]Backend, error) {
+	backends := make([]Backend, 0, cfg.Shards)
+	switch cfg.Backend {
+	case BackendFlat:
+		geom := pathoram.ShardGeometry(cfg.Blocks, cfg.Shards, cfg.Z, cfg.BlockBytes)
+		orams, err := pathoram.NewShardSet(cfg.Shards, geom, cfg.Key, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range orams {
+			backends = append(backends, o)
+		}
+	case BackendRecursive:
+		recs, err := pathoram.NewRecursiveShardSet(cfg.Shards, recursiveShardConfig(cfg), cfg.Key, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			backends = append(backends, r)
+		}
+	default:
+		return nil, fmt.Errorf("server: unknown Backend %q (want %q or %q)", cfg.Backend, BackendFlat, BackendRecursive)
+	}
+	perShard := (cfg.Blocks + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
+	for i, b := range backends {
+		// Blocks is the addressable count; a flat tree's capacity may exceed
+		// the requested share (power-of-two sizing slack), but never
+		// undershoot it.
+		if b.Blocks() < perShard || b.BlockBytes() != cfg.BlockBytes {
+			return nil, fmt.Errorf("server: shard %d backend addresses %d×%d B, need ≥ %d×%d B",
+				i, b.Blocks(), b.BlockBytes(), perShard, cfg.BlockBytes)
+		}
+	}
+	if cfg.Integrity {
+		for _, b := range backends {
+			b.EnableIntegrity()
+		}
+	}
+	return backends, nil
+}

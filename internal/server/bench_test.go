@@ -28,17 +28,46 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	for _, n := range counts {
 		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
-			runThroughput(b, n, false)
+			runThroughput(b, n, nil)
 		})
 	}
 	for _, n := range []int{1, 4} {
 		b.Run(fmt.Sprintf("unpaced/shards=%d", n), func(b *testing.B) {
-			runThroughput(b, n, true)
+			runThroughput(b, n, func(cfg *Config) { cfg.Unpaced = true })
 		})
 	}
+	// The flat-vs-recursive trade the paper's timing model costs: a
+	// recursive access moves all levels' paths, so the paced series shows
+	// whether the stack still holds the slot grid, and the unpaced series
+	// measures the raw all-levels capacity cost (with and without Merkle
+	// integrity) against the flat unpaced baseline above.
+	recursive := func(integrity bool) func(*Config) {
+		return func(cfg *Config) {
+			cfg.Backend = BackendRecursive
+			cfg.Recursion = 2 // 4096/4 = 1024 blocks/shard: 2 levels reach an on-chip map
+			cfg.Integrity = integrity
+		}
+	}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("recursive/shards=%d", n), func(b *testing.B) {
+			runThroughput(b, n, recursive(false))
+		})
+	}
+	b.Run("recursive-unpaced/shards=4", func(b *testing.B) {
+		runThroughput(b, 4, func(cfg *Config) {
+			recursive(false)(cfg)
+			cfg.Unpaced = true
+		})
+	})
+	b.Run("recursive-integrity-unpaced/shards=4", func(b *testing.B) {
+		runThroughput(b, 4, func(cfg *Config) {
+			recursive(true)(cfg)
+			cfg.Unpaced = true
+		})
+	})
 }
 
-func runThroughput(b *testing.B, shards int, unpaced bool) {
+func runThroughput(b *testing.B, shards int, mutate func(*Config)) {
 	cfg := Config{
 		Shards:      shards,
 		Blocks:      4096, // constant dataset: more shards = smaller sub-trees
@@ -47,7 +76,9 @@ func runThroughput(b *testing.B, shards int, unpaced bool) {
 		ClockHz:     1_000_000,
 		ORAMLatency: 100,
 		Rates:       []uint64{400}, // 500 µs slot period per shard
-		Unpaced:     unpaced,
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	st, err := New(cfg)
 	if err != nil {

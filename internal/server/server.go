@@ -35,7 +35,6 @@ import (
 	"tcoram/internal/core"
 	"tcoram/internal/crypt"
 	"tcoram/internal/leakage"
-	"tcoram/internal/pathoram"
 )
 
 // ErrClosed is returned for requests submitted to (or pending in) a store
@@ -56,6 +55,18 @@ type Config struct {
 	// QueueDepth bounds each shard's pending-request queue; submitters
 	// block when it is full (default 256).
 	QueueDepth int
+	// Backend selects the per-shard ORAM implementation: BackendFlat
+	// (default — single-level, flat position map) or BackendRecursive (the
+	// paper's §9.1.2 recursion, for address spaces whose flat position map
+	// would not fit on-chip).
+	Backend string
+	// Recursion is the number of position-map ORAM levels for
+	// BackendRecursive (default 3, the paper's stack; ignored for flat).
+	Recursion int
+	// Integrity attaches Merkle verification ([25], §4.3) to every level of
+	// every shard's untrusted storage: tampered buckets fail the next path
+	// read instead of decrypting to garbage.
+	Integrity bool
 	// Key encrypts all shards (zero value is acceptable for tests).
 	Key crypt.Key
 	// Seed drives the deterministic per-shard RNG streams (default 1).
@@ -108,6 +119,12 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
 	}
+	if c.Backend == "" {
+		c.Backend = BackendFlat
+	}
+	if c.Backend == BackendRecursive && c.Recursion == 0 {
+		c.Recursion = 3
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -155,6 +172,18 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("server: QueueDepth must not be negative, got %d", c.QueueDepth)
 	}
+	switch c.Backend {
+	case "", BackendFlat:
+	case BackendRecursive:
+		if c.Recursion < 0 || c.Recursion > 8 {
+			return fmt.Errorf("server: Recursion must be in [0,8], got %d", c.Recursion)
+		}
+		if err := recursiveShardConfig(c).Validate(); err != nil {
+			return fmt.Errorf("server: Backend %q: %w", c.Backend, err)
+		}
+	default:
+		return fmt.Errorf("server: unknown Backend %q (want %q or %q)", c.Backend, BackendFlat, BackendRecursive)
+	}
 	if c.LeakageBudgetBits < 0 {
 		return fmt.Errorf("server: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
 	}
@@ -173,6 +202,24 @@ func (c Config) Validate() error {
 	for i := 1; i < len(c.Rates); i++ {
 		if c.Rates[i] <= c.Rates[i-1] {
 			return fmt.Errorf("server: Rates must be strictly ascending, got %v", c.Rates)
+		}
+	}
+	// The core enforcer permits an off-set initial rate (the paper allows
+	// any epoch-0 value), but the service's leakage accounting charges every
+	// revealed rate as one of |R| choices — an operator-supplied rate
+	// outside R would make the observable schedule carry more than the
+	// lg|R| bits per transition the account claims. Zero means "default to
+	// the slowest rate" (withDefaults), which is always a member.
+	if c.InitialRate != 0 {
+		member := false
+		for _, r := range c.Rates {
+			if r == c.InitialRate {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return fmt.Errorf("server: InitialRate %d is not in Rates %v", c.InitialRate, c.Rates)
 		}
 	}
 	if c.EpochFirstLen > 0 && c.EpochGrowth < 2 {
@@ -201,13 +248,12 @@ func New(cfg Config) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	geom := pathoram.ShardGeometry(cfg.Blocks, cfg.Shards, cfg.Z, cfg.BlockBytes)
-	orams, err := pathoram.NewShardSet(cfg.Shards, geom, cfg.Key, cfg.Seed)
+	backends, err := newBackends(cfg)
 	if err != nil {
 		return nil, err
 	}
 	st := &Store{cfg: cfg, stop: make(chan struct{})}
-	for i, o := range orams {
+	for i, o := range backends {
 		sh, err := newShard(i, o, cfg, st.stop)
 		if err != nil {
 			return nil, err
@@ -384,8 +430,14 @@ type ShardStats struct {
 	// hardware enforcers do not have, surfaced here for monitoring.
 	OverdueSlots uint64 `json:"overdue_slots"`
 	MaxLagCycles uint64 `json:"max_lag_cycles"`
-	// StashPeak is the largest stash occupancy the shard has seen.
+	// StashPeak is the largest stash occupancy the shard has seen — for a
+	// recursive backend, the sum of per-level peaks (what an on-chip stash
+	// SRAM would have to provision).
 	StashPeak int `json:"stash_peak"`
+	// StashPeaks breaks StashPeak down by ORAM level: index 0 is the data
+	// ORAM, deeper indices successively smaller position-map ORAMs. A flat
+	// backend reports a single level.
+	StashPeaks []int `json:"stash_peaks,omitempty"`
 	// Failed reports that the shard's ORAM hit an unrecoverable error and
 	// the shard now rejects all requests (monitoring hook).
 	Failed bool `json:"failed,omitempty"`

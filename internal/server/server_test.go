@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"tcoram/internal/adversary"
 )
 
 // fastConfig paces at a 500 µs slot period — fast enough that tests finish
@@ -508,6 +510,12 @@ func TestConfigValidation(t *testing.T) {
 		{"clock too fast", Config{ClockHz: 2_000_000_000}, "ClockHz"},
 		{"epoch growth 1", Config{EpochFirstLen: 1000, EpochGrowth: 1}, "EpochGrowth"},
 		{"negative leak budget", Config{LeakageBudgetBits: -4}, "LeakageBudgetBits"},
+		// An off-set initial rate would be revealed to the timing observer
+		// without being one of the |R| accounted choices, silently breaking
+		// the lg|R|-per-transition leakage arithmetic.
+		{"initial rate off-set", Config{Rates: []uint64{45, 495}, InitialRate: 86}, "InitialRate"},
+		{"unknown backend", Config{Backend: "pyramid"}, "Backend"},
+		{"recursion too deep", Config{Backend: BackendRecursive, Recursion: 9}, "Recursion"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -531,12 +539,104 @@ func TestConfigValidation(t *testing.T) {
 		!strings.Contains(err.Error(), "ORAMLatency") {
 		t.Errorf("zero ORAMLatency not rejected by Validate: %v", err)
 	}
+	// A member initial rate (not just the default last element) is fine.
+	ok := fastConfig(1)
+	ok.Rates = []uint64{45, 480}
+	ok.InitialRate = 45
+	if st, err := New(ok); err != nil {
+		t.Errorf("member InitialRate rejected: %v", err)
+	} else {
+		st.Close()
+	}
+
 	// Unpaced mode ignores the enforcer fields entirely.
 	st, err := New(Config{Unpaced: true, ClockHz: 2_000_000_000})
 	if err != nil {
 		t.Errorf("unpaced config rejected on enforcer fields: %v", err)
 	} else {
 		st.Close()
+	}
+}
+
+// TestRecursiveBackendReadYourWrites serves the store from recursive,
+// integrity-checked shard backends: the full KV surface must behave
+// identically to the flat backend, and the stats must expose the stack's
+// per-level stash peaks.
+func TestRecursiveBackendReadYourWrites(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.Backend = BackendRecursive
+	cfg.Recursion = 2
+	cfg.Integrity = true
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if got := st.Config().Recursion; got != 2 {
+		t.Fatalf("effective Recursion = %d, want 2", got)
+	}
+	for addr := uint64(0); addr < 48; addr++ {
+		want := make([]byte, 64)
+		FillPayload(want, addr, 0, addr)
+		if err := st.Write(addr, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: read %x, want %x", addr, got[:16], want[:16])
+		}
+	}
+	// Unwritten blocks read as zeroes; out-of-range still fails cleanly.
+	got, err := st.Read(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatalf("unwritten block not zero: %x", got[:16])
+	}
+	if _, err := st.Read(4096); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+
+	stats := st.Stats()
+	for _, sh := range stats.Shards {
+		if len(sh.StashPeaks) != 1+cfg.Recursion {
+			t.Errorf("shard %d StashPeaks has %d levels, want %d", sh.Shard, len(sh.StashPeaks), 1+cfg.Recursion)
+		}
+		sum := 0
+		for _, p := range sh.StashPeaks {
+			sum += p
+		}
+		if sh.StashPeak != sum {
+			t.Errorf("shard %d StashPeak %d != sum of levels %d", sh.Shard, sh.StashPeak, sum)
+		}
+		if sh.StashPeaks[0] == 0 {
+			t.Errorf("shard %d data-level stash peak is 0 after 96 real accesses", sh.Shard)
+		}
+	}
+}
+
+// TestFlatBackendReportsSingleStashLevel: the flat default keeps its
+// existing stats shape, just with the one-level breakdown attached.
+func TestFlatBackendReportsSingleStashLevel(t *testing.T) {
+	st, err := New(fastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Write(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	sh := st.Stats().Shards[0]
+	if len(sh.StashPeaks) != 1 {
+		t.Fatalf("flat backend StashPeaks = %v, want exactly one level", sh.StashPeaks)
+	}
+	if sh.StashPeaks[0] != sh.StashPeak {
+		t.Fatalf("flat backend level peak %d != StashPeak %d", sh.StashPeaks[0], sh.StashPeak)
 	}
 }
 
@@ -672,6 +772,80 @@ func TestServerDynamicScheduleLeakageBounded(t *testing.T) {
 	}
 	if stats.LeakageBudgetBits != cfg.LeakageBudgetBits {
 		t.Errorf("budget echoed as %v, want %v", stats.LeakageBudgetBits, cfg.LeakageBudgetBits)
+	}
+}
+
+// TestAdversaryReplayOfLiveRun closes the ROADMAP "adversary-side
+// validation of the service" loop: the rate-change history a live
+// dynamic-schedule run publishes is replayed through internal/adversary's
+// schedule reconstruction, and the information the adversary recovers must
+// equal — exactly, not approximately — the leaked_bits the service reports.
+// Until now this validation existed only for the simulator.
+func TestAdversaryReplayOfLiveRun(t *testing.T) {
+	cfg := Config{
+		Shards:        2,
+		Blocks:        256,
+		BlockBytes:    64,
+		ClockHz:       1_000_000,
+		ORAMLatency:   5,
+		Rates:         []uint64{45, 195, 495, 995},
+		InitialRate:   995,
+		EpochFirstLen: 20_000, // 20 ms, growth 2: several transitions in 400 ms
+		EpochGrowth:   2,
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for i := uint64(0); time.Now().Before(deadline); i++ {
+		addr := i % 256
+		FillPayload(buf, addr, 0, i)
+		if err := st.Write(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Read(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats := st.Stats()
+	var total float64
+	for _, sh := range stats.Shards {
+		rec := adversary.ReconstructSchedule(sh.RateChanges, len(cfg.Rates))
+		if rec.Transitions == 0 {
+			t.Fatalf("shard %d crossed no epoch boundary in 400 ms of 20 ms-seeded epochs", sh.Shard)
+		}
+		// The reconstruction and the service's accountant compute the same
+		// quantity independently; they must agree bit for bit.
+		if math.Abs(rec.Bits-sh.LeakedBits) > 1e-12 {
+			t.Errorf("shard %d: adversary reconstructs %v bits, service reports %v",
+				sh.Shard, rec.Bits, sh.LeakedBits)
+		}
+		// Every reconstructed post-epoch-0 rate must be one of the |R|
+		// choices the account charges lg|R| bits for (this is what the
+		// InitialRate validation protects).
+		for i, r := range rec.Rates {
+			if i == 0 {
+				continue
+			}
+			member := false
+			for _, allowed := range cfg.Rates {
+				if r == allowed {
+					member = true
+				}
+			}
+			if !member {
+				t.Errorf("shard %d: reconstructed epoch-%d rate %d outside R=%v", sh.Shard, i, r, cfg.Rates)
+			}
+		}
+		total += rec.Bits
+	}
+	if math.Abs(total-stats.LeakedBits) > 1e-12 {
+		t.Errorf("adversary total %v bits != store leaked_bits %v", total, stats.LeakedBits)
 	}
 }
 

@@ -1,11 +1,11 @@
 package server
 
 import (
+	"slices"
 	"sync/atomic"
 	"time"
 
 	"tcoram/internal/core"
-	"tcoram/internal/pathoram"
 )
 
 // request is one queued Read or Write, expressed in shard-local terms.
@@ -31,7 +31,7 @@ type result struct {
 // the queue head (coalescing same-block requests) or issue a dummy access.
 type shard struct {
 	id    int
-	oram  *pathoram.ORAM
+	oram  Backend            // flat or recursive; owned exclusively by the run goroutine
 	enf   *core.WallEnforcer // nil in Unpaced mode
 	queue chan *request
 	fifo  []*request // drained requests awaiting slots (loop-private)
@@ -43,13 +43,19 @@ type shard struct {
 	coalesced atomic.Uint64
 	depth     atomic.Int64 // submitted but not yet completed
 	stashPeak atomic.Int64
-	failed    atomic.Bool // the shard's ORAM errored; it now rejects everything
+	// levelPeaks publishes the per-level stash peaks (index 0 = data ORAM;
+	// one entry for a flat backend). The slice behind the pointer is never
+	// mutated after Store, so readers may copy it lock-free.
+	levelPeaks atomic.Pointer[[]int]
+	failed     atomic.Bool // the shard's ORAM errored; it now rejects everything
 
-	// group is scratch for coalescing (loop-private).
-	group []*request
+	// Loop-private scratch: group for coalescing, peaksScratch for reading
+	// the backend's per-level peaks without allocating every slot.
+	group        []*request
+	peaksScratch []int
 }
 
-func newShard(id int, o *pathoram.ORAM, cfg Config, stop chan struct{}) (*shard, error) {
+func newShard(id int, o Backend, cfg Config, stop chan struct{}) (*shard, error) {
 	enf, err := enforcerFor(cfg)
 	if err != nil {
 		return nil, err
@@ -61,6 +67,7 @@ func newShard(id int, o *pathoram.ORAM, cfg Config, stop chan struct{}) (*shard,
 		queue: make(chan *request, cfg.QueueDepth),
 		stop:  stop,
 	}
+	sh.publishStats() // stats are well-formed before the first slot
 	return sh, nil
 }
 
@@ -261,10 +268,17 @@ func (sh *shard) drain() {
 	}
 }
 
-// publishStats refreshes the atomic mirrors of loop-private state.
+// publishStats refreshes the atomic mirrors of loop-private state. The
+// per-level peaks slice is republished only when a peak moved (peaks are
+// monotone, so this is rare), keeping the per-slot cost to a comparison.
 func (sh *shard) publishStats() {
 	_, peak := sh.oram.StashOccupancy()
 	sh.stashPeak.Store(int64(peak))
+	sh.peaksScratch = sh.oram.LevelStashPeaks(sh.peaksScratch[:0])
+	if cur := sh.levelPeaks.Load(); cur == nil || !slices.Equal(*cur, sh.peaksScratch) {
+		published := slices.Clone(sh.peaksScratch)
+		sh.levelPeaks.Store(&published)
+	}
 }
 
 // stats snapshots the shard's counters. Every enforcer-side field (rate,
@@ -281,6 +295,9 @@ func (sh *shard) stats() ShardStats {
 		Coalesced:     sh.coalesced.Load(),
 		StashPeak:     int(sh.stashPeak.Load()),
 		Failed:        sh.failed.Load(),
+	}
+	if p := sh.levelPeaks.Load(); p != nil {
+		ss.StashPeaks = slices.Clone(*p)
 	}
 	if sh.enf != nil {
 		ss.OverdueSlots, ss.MaxLagCycles = sh.enf.Slip()

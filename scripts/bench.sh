@@ -6,18 +6,29 @@
 # the date stays in the JSON records for trend plots.
 #
 # Usage: scripts/bench.sh [output-dir]    (default: repo root)
-# Env:   BENCH_TIME    go test -benchtime value (default 1s)
+# Env:   BENCH_TIME           go test -benchtime value (default 1s)
+#        BENCH_ALLOW_DIRTY=1  permit a run from a modified working tree; the
+#                             record gets a "-dirty" filename suffix, which
+#                             bench_compare.sh refuses to baseline against
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 outdir="${1:-.}"
 stamp="$(date +%Y%m%d)"
-# The hash names the code that was benchmarked; a run from a modified
-# working tree gets a "-dirty" marker so the record is never attributed to
-# a commit whose tree it didn't measure.
+# The hash names the code that was benchmarked. A modified working tree
+# cannot produce a commit-attributable record, so by default the run is
+# refused outright — a committed dirty record once served as the regression
+# gate's baseline, gating later PRs against numbers no commit ever
+# contained. BENCH_ALLOW_DIRTY=1 permits an exploratory run; the "-dirty"
+# suffix it stamps is excluded from baseline selection by bench_compare.sh.
 commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
+    if [ "${BENCH_ALLOW_DIRTY:-0}" != "1" ]; then
+        echo "bench.sh: working tree is dirty — the record could not be attributed to a commit." >&2
+        echo "bench.sh: commit (or stash) first, or set BENCH_ALLOW_DIRTY=1 for a throwaway -dirty record." >&2
+        exit 1
+    fi
     commit="${commit}-dirty"
 fi
 out="${outdir}/BENCH_${stamp}_${commit}.json"
@@ -25,6 +36,11 @@ benchtime="${BENCH_TIME:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# BenchmarkServerThroughput fans out into per-shard-count sub-benchmarks,
+# including the recursive-backend series (recursive/shards=N,
+# recursive-unpaced, recursive-integrity-unpaced) that records the
+# flat-vs-recursive cost; every sub-benchmark lands in the JSON and is
+# gated by bench_compare.sh from its first committed record onward.
 benches='BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen|BenchmarkServerThroughput'
 go test -run '^$' -bench "$benches" -benchmem -benchtime="$benchtime" -count=1 . ./internal/server | tee "$raw"
 

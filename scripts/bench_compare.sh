@@ -34,10 +34,13 @@ fi
 
 # Newest committed baseline: among tracked BENCH_*.json files, take the one
 # whose last touching commit is most recent (filename date alone can't order
-# two same-day records).
+# two same-day records). Records stamped "-dirty" are never baselines: they
+# measured a tree no commit describes, so gating against them compares
+# against numbers that can't be reproduced or attributed.
 baseline=""
 newest=0
 while IFS= read -r f; do
+    case "$f" in *-dirty*) echo "bench_compare: ignoring non-commit-attributable $f"; continue ;; esac
     ts="$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)"
     if [[ "$ts" -gt "$newest" ]]; then
         newest="$ts"
@@ -53,7 +56,10 @@ echo "bench_compare: baseline $baseline (tolerance ${tol}%)"
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
-scripts/bench.sh "$tmpdir" >/dev/null
+# The fresh run deliberately measures the working tree (that is the point of
+# the gate), so it is exempt from bench.sh's dirty-tree refusal; its record
+# lands in a temp dir and is never committed.
+BENCH_ALLOW_DIRTY=1 scripts/bench.sh "$tmpdir" >/dev/null
 fresh="$(ls "$tmpdir"/BENCH_*.json)"
 
 # Extract "name ns_per_op" pairs from a bench JSON (our own fixed format).
