@@ -248,6 +248,47 @@ func BenchmarkAblationDiscretizer(b *testing.B) {
 
 // --- Micro-benches on the hot components ---
 
+// fixedNonce is a deterministic nonce source for the calibration loop: it
+// leaves the destination untouched, so every iteration encrypts under the
+// same keystream and the measured work is exactly the AES-CTR arithmetic.
+type fixedNonce struct{}
+
+func (fixedNonce) Read(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkCalibration is the CI hardware-calibration loop: a fixed,
+// deterministic AES-CTR encrypt/decrypt round trip over a path-sized
+// buffer — the primitive that dominates every ORAM hot path — with no I/O,
+// goroutines, timers, or allocation. Its ns/op measures the machine, not
+// the code under review: scripts/bench_compare.sh divides each fresh
+// series by the ratio of the fresh calibration to the baseline's before
+// applying the regression tolerance, so bench records from different
+// runner generations stay comparable. Keep this loop byte-for-byte stable
+// across PRs — changing it silently re-scales every cross-record
+// comparison.
+func BenchmarkCalibration(b *testing.B) {
+	var key crypt.Key
+	for i := range key {
+		key[i] = byte(i)
+	}
+	c := crypt.NewCipher(key, fixedNonce{})
+	pt := make([]byte, 4096)
+	for i := range pt {
+		pt[i] = byte(i * 7)
+	}
+	ct := make([]byte, len(pt)+crypt.NonceSize)
+	out := make([]byte, len(pt))
+	b.SetBytes(int64(2 * len(pt)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EncryptTo(ct, pt); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.DecryptTo(out, ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEnforcerFetch measures the enforcer's per-request cost.
 func BenchmarkEnforcerFetch(b *testing.B) {
 	e, err := core.NewEnforcer(core.EnforcerConfig{

@@ -10,9 +10,17 @@
 //	oramd -addr :7312 -oram recursive -integrity \
 //	      -blocks 1048576 -rates 2700                    # recursive stacks, Merkle-verified
 //	oramd -addr :7312 -unpaced                           # no timing protection
+//
+// The -stats control verb turns oramd into a client of a running daemon (or
+// of an oramproxy, which aggregates a whole cluster): it polls the stats op
+// once, prints the JSON snapshot, and exits — the per-node poll the cluster
+// routing proxy performs, exposed for operators and scripts:
+//
+//	oramd -stats -addr 127.0.0.1:7312
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -42,8 +50,16 @@ func main() {
 		growth     = flag.Uint64("growth", 4, "epoch length growth factor")
 		leakBudget = flag.Float64("leak-budget", 0, "session leakage budget in bits across all shards (0 = account only)")
 		unpaced    = flag.Bool("unpaced", false, "disable rate enforcement (no dummies; leaks timing)")
+		statsVerb  = flag.Bool("stats", false, "control verb: poll the daemon at -addr for its stats snapshot, print JSON, exit")
 	)
 	flag.Parse()
+
+	if *statsVerb {
+		if err := pollStats(*addr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	rateSet, err := server.ParseRates(*rates)
 	if err != nil {
@@ -111,6 +127,27 @@ func main() {
 			fmt.Printf("oramd: %s\n", warning)
 		}
 	}
+}
+
+// pollStats fetches one stats snapshot from a running daemon (or proxy) and
+// prints it as indented JSON — the machine-readable face of the summary the
+// daemon prints at shutdown, available while it serves.
+func pollStats(addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		return err
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tcoram/internal/server"
+	"tcoram/internal/workload"
+)
+
+// BenchmarkClusterThroughput measures sustained operations per second
+// through the routing layer as the node count grows, each node a real
+// daemon behind loopback TCP with its own paced shard grids — the
+// BenchmarkServerThroughput scaling story one level up. In paced mode the
+// expectation is exact: capacity is nodes × shards / period, so ns/op
+// halves when the node count doubles, and the committed record makes the
+// scale-out property a gated number rather than a claim.
+func BenchmarkClusterThroughput(b *testing.B) {
+	for _, nodes := range []int{1, 2} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			runClusterThroughput(b, nodes, false)
+		})
+	}
+	// Unpaced: raw routed capacity with no slot grid, isolating the
+	// proxy/pool overhead from the pacing budget.
+	b.Run("unpaced/nodes=2", func(b *testing.B) {
+		runClusterThroughput(b, 2, true)
+	})
+}
+
+func runClusterThroughput(b *testing.B, nodes int, unpaced bool) {
+	nodeCfg := server.Config{
+		Shards:      2,
+		Blocks:      2048 / uint64(nodes), // constant 2048-block dataset
+		BlockBytes:  64,
+		QueueDepth:  1024,
+		ClockHz:     1_000_000,
+		ORAMLatency: 100,
+		Rates:       []uint64{400}, // 500 µs slot period per shard
+		Unpaced:     unpaced,
+	}
+	_, addrs := startNodes(b, nodes, nodeCfg)
+	r := startRouter(b, Config{Nodes: addrs})
+
+	var remaining atomic.Int64
+	remaining.Store(int64(b.N))
+	clients := 4 * nodes * nodeCfg.Shards
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			stream, err := workload.NewKVStream(workload.KVUniform, r.Blocks(), int64(cl)+1, 0)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			buf := make([]byte, r.BlockBytes())
+			for remaining.Add(-1) >= 0 {
+				op := stream.Next()
+				if op.Write {
+					server.FillPayload(buf, op.Addr, uint32(cl), 0)
+					if err := r.Write(op.Addr, buf); err != nil {
+						b.Error(err)
+						return
+					}
+				} else if _, err := r.Read(op.Addr); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "ops/s")
+	}
+}

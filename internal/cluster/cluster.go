@@ -1,0 +1,133 @@
+// Package cluster scales the sharded ORAM service past one process: a thin
+// routing layer that partitions a flat block address space across N
+// independent oramd daemons, each of which is itself a sharded, slot-grid-
+// paced server.Store. This is the partitioned-ORAM shape of Stefanov et
+// al.'s "Towards Practical Oblivious RAM" applied one level up — the paper's
+// pacing makes per-shard throughput a fixed budget, so capacity grows only
+// by adding independently-paced sub-ORAMs, and past one machine's cores
+// that means adding boxes.
+//
+// Routing composes with the store's own shard routing: a global address a
+// lands on node a mod N (NodeOf) as node-local address a div N (LocalAddr),
+// and inside that node on shard (a div N) mod S. Both hops are
+// deterministic, data-independent functions of the address, and every node
+// keeps its own dummy-filled slot grid running regardless of where real
+// traffic lands, so the adversary of the paper's model — one who observes
+// each node's (memory-bus or network-egress) access schedule — sees only
+// the N independent paced grids, exactly as with N unrelated daemons.
+//
+// Threat model caveat: the proxy→node links carry real requests unpadded,
+// so an adversary tapping the cluster's internal interconnect additionally
+// learns addr mod N per access (which node, not which block) — a surface a
+// single daemon does not have, analogous to watching the in-process shard
+// queues, and not counted in leaked_bits. Deployments whose interconnect
+// is not trusted infrastructure need link padding (or per-access partition
+// re-randomization à la Stefanov et al.), which this layer does not do.
+//
+// Leakage accounts compose additively: each epoch transition on any shard
+// of any node reveals one lg|R|-bit rate choice, so the cluster's timing-
+// channel total is the sum of the per-node totals, judged against a single
+// cluster-wide budget by the Router's aggregated stats.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"tcoram/internal/server"
+)
+
+// NodeOf returns the node index serving global address addr in an
+// n-node cluster: a deterministic, data-independent function, so routing is
+// stable across proxy restarts as long as the node list order is stable.
+// Modulo routing spreads sequential scans round-robin across nodes, the
+// same policy server.Store uses for its shards.
+func NodeOf(addr uint64, n int) int {
+	return int(addr % uint64(n))
+}
+
+// LocalAddr converts a global block address to the node-local one.
+func LocalAddr(addr uint64, n int) uint64 {
+	return addr / uint64(n)
+}
+
+// GlobalAddr inverts (NodeOf, LocalAddr): the global address of node-local
+// block local on node.
+func GlobalAddr(local uint64, node, n int) uint64 {
+	return local*uint64(n) + uint64(node)
+}
+
+// Config describes a routing proxy over N daemons.
+type Config struct {
+	// Nodes lists the daemon addresses ("host:port"). Order defines the node
+	// index the routing function uses, so it must be identical every time a
+	// proxy is started over the same data — a reordered list would route
+	// addresses to nodes holding someone else's blocks.
+	Nodes []string
+	// ConnsPerNode is the size of each node's pipelined connection pool
+	// (default 2). Every connection multiplexes arbitrarily many in-flight
+	// requests (server.Client pipelining); the pool spreads encode/decode
+	// work across sockets.
+	ConnsPerNode int
+	// Blocks optionally caps the cluster's served address space. Zero
+	// derives the maximum the topology supports: N × min over nodes of the
+	// node's block count (modulo routing fills nodes evenly, so the smallest
+	// node bounds the whole).
+	Blocks uint64
+	// LeakageBudgetBits is the cluster-wide ORAM-timing-channel budget in
+	// bits: the summed per-node leakage is judged against this one number in
+	// aggregated stats. Zero means account but never flag.
+	LeakageBudgetBits float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConnsPerNode == 0 {
+		c.ConnsPerNode = 2
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes configured")
+	}
+	seen := make(map[string]int, len(c.Nodes))
+	for i, n := range c.Nodes {
+		if n == "" {
+			return fmt.Errorf("cluster: node %d has an empty address", i)
+		}
+		if j, dup := seen[n]; dup {
+			// The same daemon listed twice would be assigned two disjoint
+			// address slices of one undersized store — reads of slice j would
+			// surface blocks written through slice i.
+			return fmt.Errorf("cluster: nodes %d and %d are the same address %q", j, i, n)
+		}
+		seen[n] = i
+	}
+	if c.ConnsPerNode < 0 {
+		return fmt.Errorf("cluster: ConnsPerNode must not be negative, got %d", c.ConnsPerNode)
+	}
+	if c.LeakageBudgetBits < 0 {
+		return fmt.Errorf("cluster: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
+	}
+	return nil
+}
+
+// ParseNodes parses the comma-separated node list the oramproxy -nodes flag
+// accepts into Config.Nodes form.
+func ParseNodes(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty node list")
+	}
+	return out, nil
+}
+
+// interface conformance: the Router serves behind server.Serve unchanged.
+var _ server.Service = (*Router)(nil)

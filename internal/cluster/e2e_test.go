@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tcoram/internal/adversary"
+	"tcoram/internal/server"
+	"tcoram/internal/workload"
+)
+
+// TestClusterEndToEndAllScenarios is the multi-node acceptance run (the CI
+// cluster gate): loadgen's driver over TCP against an oramproxy fronting
+// two paced oramd daemons completes every scenario with zero lost and zero
+// corrupted operations, and the proxy's aggregated stats show both nodes'
+// slot grids alive.
+func TestClusterEndToEndAllScenarios(t *testing.T) {
+	// Same slot sizing as the single-daemon e2e: a 2 ms period per shard
+	// keeps four pacing loops plus the proxy hop comfortable on a 1-vCPU
+	// box under the race detector. Two nodes × two shards serve 1024
+	// cluster blocks (512 per node).
+	nodeCfg := server.Config{
+		Shards:      2,
+		Blocks:      512,
+		BlockBytes:  64,
+		ClockHz:     1_000_000,
+		ORAMLatency: 200,
+		Rates:       []uint64{1800},
+	}
+	_, proxyAddr, _ := startCluster(t, 2, nodeCfg, Config{})
+
+	statsClient, err := server.Dial(proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsClient.Close()
+
+	for _, sc := range workload.KVScenarios() {
+		sc := sc
+		t.Run(string(sc), func(t *testing.T) {
+			rep, err := server.RunLoad(
+				func() (server.KV, error) { return server.Dial(proxyAddr) },
+				func() (server.Stats, error) { return statsClient.Stats() },
+				server.LoadConfig{
+					Scenario:     sc,
+					Clients:      8,
+					OpsPerClient: 50,
+					Blocks:       1024,
+					BlockBytes:   64,
+					Seed:         44,
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Lost != 0 {
+				t.Errorf("%s: %d lost requests", sc, rep.Lost)
+			}
+			if rep.Corrupted != 0 {
+				t.Errorf("%s: %d corrupted reads", sc, rep.Corrupted)
+			}
+			if rep.Ops != 400 {
+				t.Errorf("%s: completed %d ops, want 400", sc, rep.Ops)
+			}
+			if rep.RealAccesses == 0 {
+				t.Errorf("%s: no real ORAM accesses recorded", sc)
+			}
+		})
+	}
+
+	stats, err := statsClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocks != 1024 {
+		t.Errorf("aggregated Blocks = %d, want the cluster-wide 1024", stats.Blocks)
+	}
+	if len(stats.Shards) != 4 {
+		t.Fatalf("aggregated %d shard entries, want 4 (2 nodes × 2 shards)", len(stats.Shards))
+	}
+	perNode := map[int]int{}
+	for _, sh := range stats.Shards {
+		perNode[sh.Node]++
+		if sh.Failed {
+			t.Errorf("node %d shard %d reported failure", sh.Node, sh.Shard)
+		}
+		// Every node's grid pads idle slots: a node left cold by routing
+		// would betray the cluster's traffic split, so none may be silent.
+		if sh.RealAccesses+sh.DummyAccesses == 0 {
+			t.Errorf("node %d shard %d issued no accesses — its slot grid is dead", sh.Node, sh.Shard)
+		}
+	}
+	if perNode[0] != 2 || perNode[1] != 2 {
+		t.Errorf("shards per node = %v, want 2 on each", perNode)
+	}
+	_, dummy, _ := stats.Totals()
+	if dummy == 0 {
+		t.Error("no dummy accesses across the whole run — pacing inactive?")
+	}
+}
+
+// TestClusterAdversaryReplay extends the adversary-side validation to the
+// cluster: the per-shard rate-change histories that the proxy aggregates
+// are replayed through the adversary's schedule reconstruction, and the
+// recovered information must equal — bit for bit — the leaked_bits the
+// cluster reports against its single budget.
+func TestClusterAdversaryReplay(t *testing.T) {
+	rates := []uint64{45, 195, 495, 995}
+	nodeCfg := server.Config{
+		Shards:        1,
+		Blocks:        128,
+		BlockBytes:    64,
+		ClockHz:       1_000_000,
+		ORAMLatency:   5,
+		Rates:         rates,
+		InitialRate:   995,
+		EpochFirstLen: 20_000, // 20 ms, growth 2: several transitions in 400 ms
+		EpochGrowth:   2,
+	}
+	// A cluster budget of 4 bits: each node alone stays silent about it
+	// (they have no budget configured), but two shards' transitions sum
+	// past it quickly, so only the aggregated account can trip.
+	r, _, _ := startCluster(t, 2, nodeCfg, Config{LeakageBudgetBits: 4})
+
+	buf := make([]byte, 64)
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for i := uint64(0); time.Now().Before(deadline); i++ {
+		addr := i % 256
+		server.FillPayload(buf, addr, 0, i)
+		if err := r.Write(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stats, err := r.ServiceStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Shards) != 2 {
+		t.Fatalf("aggregated %d shard entries, want 2", len(stats.Shards))
+	}
+	var total float64
+	for _, sh := range stats.Shards {
+		rec := adversary.ReconstructSchedule(sh.RateChanges, len(rates))
+		if rec.Transitions == 0 {
+			t.Fatalf("node %d shard %d crossed no epoch boundary in 400 ms of 20 ms-seeded epochs", sh.Node, sh.Shard)
+		}
+		if math.Abs(rec.Bits-sh.LeakedBits) > 1e-12 {
+			t.Errorf("node %d shard %d: adversary reconstructs %v bits, cluster reports %v",
+				sh.Node, sh.Shard, rec.Bits, sh.LeakedBits)
+		}
+		total += rec.Bits
+	}
+	if math.Abs(total-stats.LeakedBits) > 1e-12 {
+		t.Errorf("adversary total %v bits != cluster leaked_bits %v", total, stats.LeakedBits)
+	}
+	if !stats.LeakageExceeded {
+		t.Errorf("cluster leaked %v bits over a 4-bit budget without flagging", stats.LeakedBits)
+	}
+}
+
+// measureClusterOps drives saturating uniform traffic through a router for
+// the given window and returns completed operations.
+func measureClusterOps(t *testing.T, r *Router, clients int, window time.Duration) uint64 {
+	t.Helper()
+	var (
+		done atomic.Uint64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			stream, err := workload.NewKVStream(workload.KVUniform, r.Blocks(), int64(cl)+1, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			buf := make([]byte, r.BlockBytes())
+			for !stop.Load() {
+				op := stream.Next()
+				if op.Write {
+					server.FillPayload(buf, op.Addr, uint32(cl), 0)
+					if err := r.Write(op.Addr, buf); err != nil {
+						t.Error(err)
+						return
+					}
+				} else if _, err := r.Read(op.Addr); err != nil {
+					t.Error(err)
+					return
+				}
+				done.Add(1)
+			}
+		}(cl)
+	}
+	time.Sleep(window)
+	stop.Store(true)
+	wg.Wait()
+	return done.Load()
+}
+
+// TestClusterThroughputScaling is the scale-out acceptance measurement: in
+// paced mode each shard's slot grid caps service at one access per period,
+// so cluster capacity is nodes × shards / period — doubling the node count
+// must roughly double sustained throughput over the same wall window. This
+// is the property that takes the capacity story past one machine: the added
+// slots come from another box's grid, not from sharing this one's cores.
+func TestClusterThroughputScaling(t *testing.T) {
+	nodeCfg := server.Config{
+		Shards:      2,
+		Blocks:      512,
+		BlockBytes:  64,
+		QueueDepth:  1024,
+		ClockHz:     1_000_000,
+		ORAMLatency: 200,
+		Rates:       []uint64{1800}, // 2 ms slot period per shard
+	}
+	const window = 1200 * time.Millisecond
+
+	run := func(nodes int) uint64 {
+		_, addrs := startNodes(t, nodes, nodeCfg)
+		r := startRouter(t, Config{Nodes: addrs})
+		defer r.Close()
+		// 8 clients per node keep every shard's queue non-empty without
+		// swamping a small CI box.
+		return measureClusterOps(t, r, 8*nodes, window)
+	}
+	one := run(1)
+	two := run(2)
+
+	// Capacity at 2 shards/node and 2 ms slots is 1000 ops/s per node; the
+	// window should complete ≈1200 (one node) and ≈2400 (two). Bounds are
+	// generous for CI noise but exclude both "no scaling" (ratio ≈ 1) and
+	// super-linear accounting bugs.
+	if one == 0 {
+		t.Fatal("one-node run completed no operations")
+	}
+	ratio := float64(two) / float64(one)
+	t.Logf("paced throughput: 1 node = %d ops, 2 nodes = %d ops (ratio %.2f) over %v", one, two, ratio, window)
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Errorf("2-node/1-node throughput ratio = %.2f, want ≈2 (linear scale-out)", ratio)
+	}
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+
+	"tcoram/internal/server"
+)
+
+// The in-test cluster harness: N real oramd daemons (server.Store behind
+// server.Serve on loopback TCP), optionally fronted by a routing proxy that
+// is itself served over TCP — the full wire topology of a deployed cluster,
+// inside one test process so the race detector sees every layer at once.
+
+// startNode serves one store on an ephemeral port and returns its address.
+// Listener and store die with the test.
+func startNode(t testing.TB, cfg server.Config) (*server.Store, string) {
+	t.Helper()
+	st, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	go server.Serve(l, st)
+	t.Cleanup(func() {
+		l.Close()
+		st.Close()
+	})
+	return st, l.Addr().String()
+}
+
+// startNodes brings up n identically-configured daemons and returns their
+// addresses in node-index order.
+func startNodes(t testing.TB, n int, cfg server.Config) (stores []*server.Store, addrs []string) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		st, addr := startNode(t, cfg)
+		stores = append(stores, st)
+		addrs = append(addrs, addr)
+	}
+	return stores, addrs
+}
+
+// startRouter builds a router over addrs; it dies with the test.
+func startRouter(t testing.TB, ccfg Config) *Router {
+	t.Helper()
+	r, err := NewRouter(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// startProxy serves a router over TCP — the oramproxy composition — and
+// returns the proxy's client-facing address.
+func startProxy(t testing.TB, r *Router) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go server.Serve(l, r)
+	t.Cleanup(func() { l.Close() })
+	return l.Addr().String()
+}
+
+// startCluster is the one-call harness: n daemons, a router, a TCP proxy.
+func startCluster(t testing.TB, n int, nodeCfg server.Config, ccfg Config) (r *Router, proxyAddr string, stores []*server.Store) {
+	t.Helper()
+	stores, addrs := startNodes(t, n, nodeCfg)
+	ccfg.Nodes = addrs
+	r = startRouter(t, ccfg)
+	return r, startProxy(t, r), stores
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tcoram/internal/server"
+)
+
+// Router is the cluster's data plane: it implements server.Service by
+// consistently routing every Read/Write to the daemon owning the address
+// (NodeOf above the target store's own ShardOf) over a per-node pool of
+// pipelined connections, and by aggregating every node's stats into one
+// cluster-wide view with a single leakage budget. Because it is a
+// server.Service, the standard daemon loop (server.Serve) turns it into a
+// TCP proxy — cmd/oramproxy is nothing but that composition.
+//
+// All methods are safe for concurrent use.
+type Router struct {
+	cfg        Config
+	pools      []*pool
+	blocks     uint64 // cluster-wide address space
+	blockBytes int
+	nodeBlocks []uint64 // per-node capacity learned at dial time
+}
+
+// pool is one node's connection set. server.Client multiplexes concurrent
+// callers onto one socket by request id, so correctness needs only one
+// connection; the pool spreads JSON encode/decode and syscall work across
+// several, picked round-robin.
+type pool struct {
+	addr    string
+	clients []*server.Client
+	next    atomic.Uint64
+}
+
+func (p *pool) pick() *server.Client {
+	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+}
+
+// NewRouter dials every configured node, learns the cluster geometry from
+// each node's stats (block count and size), and returns a serving router.
+// It fails fast if any node is unreachable, if nodes disagree on block
+// size, or if the requested Blocks exceeds what the topology can hold.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Router{cfg: cfg}
+	ok := false
+	defer func() {
+		if !ok {
+			r.Close()
+		}
+	}()
+	for i, addr := range cfg.Nodes {
+		p := &pool{addr: addr}
+		for c := 0; c < cfg.ConnsPerNode; c++ {
+			cl, err := server.Dial(addr)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
+			}
+			p.clients = append(p.clients, cl)
+		}
+		r.pools = append(r.pools, p)
+	}
+
+	// One stats round-trip per node doubles as the liveness check and
+	// teaches the router each node's capacity.
+	minBlocks := uint64(0)
+	for i, p := range r.pools {
+		st, err := p.pick().Stats()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, p.addr, err)
+		}
+		if st.Blocks == 0 {
+			return nil, fmt.Errorf("cluster: node %d (%s) reports zero blocks", i, p.addr)
+		}
+		if r.blockBytes == 0 {
+			r.blockBytes = st.BlockBytes
+		} else if st.BlockBytes != r.blockBytes {
+			return nil, fmt.Errorf("cluster: node %d (%s) serves %d-byte blocks, node 0 serves %d",
+				i, p.addr, st.BlockBytes, r.blockBytes)
+		}
+		r.nodeBlocks = append(r.nodeBlocks, st.Blocks)
+		if minBlocks == 0 || st.Blocks < minBlocks {
+			minBlocks = st.Blocks
+		}
+	}
+	// Modulo routing fills nodes evenly, so the smallest node bounds the
+	// addressable space: every global address below N×min maps to a valid
+	// local address on its owner.
+	r.blocks = minBlocks * uint64(len(r.pools))
+	if cfg.Blocks > 0 {
+		if cfg.Blocks > r.blocks {
+			return nil, fmt.Errorf("cluster: %d blocks requested but the %d nodes hold at most %d (smallest node: %d)",
+				cfg.Blocks, len(r.pools), r.blocks, minBlocks)
+		}
+		r.blocks = cfg.Blocks
+	}
+	ok = true
+	return r, nil
+}
+
+// Blocks returns the cluster-wide address space the router serves.
+func (r *Router) Blocks() uint64 { return r.blocks }
+
+// BlockBytes returns the block payload size the nodes agreed on.
+func (r *Router) BlockBytes() int { return r.blockBytes }
+
+// Nodes returns the node count.
+func (r *Router) Nodes() int { return len(r.pools) }
+
+// route bounds-checks a global address and returns its owning pool and
+// node-local address.
+func (r *Router) route(addr uint64) (*pool, uint64, error) {
+	if addr >= r.blocks {
+		return nil, 0, fmt.Errorf("cluster: address %d out of range (%d blocks)", addr, r.blocks)
+	}
+	return r.pools[NodeOf(addr, len(r.pools))], LocalAddr(addr, len(r.pools)), nil
+}
+
+// Read fetches a block from its owning node.
+func (r *Router) Read(addr uint64) ([]byte, error) {
+	p, local, err := r.route(addr)
+	if err != nil {
+		return nil, err
+	}
+	return p.pick().Read(local)
+}
+
+// Write stores a block on its owning node.
+func (r *Router) Write(addr uint64, data []byte) error {
+	p, local, err := r.route(addr)
+	if err != nil {
+		return err
+	}
+	return p.pick().Write(local, data)
+}
+
+// NodeStats polls every node concurrently and returns the raw per-node
+// snapshots, indexed by node.
+func (r *Router) NodeStats() ([]server.Stats, error) {
+	out := make([]server.Stats, len(r.pools))
+	errs := make([]error, len(r.pools))
+	var wg sync.WaitGroup
+	for i, p := range r.pools {
+		wg.Add(1)
+		go func(i int, p *pool) {
+			defer wg.Done()
+			st, err := p.pick().Stats()
+			if err != nil {
+				errs[i] = fmt.Errorf("cluster: node %d (%s): %w", i, p.addr, err)
+				return
+			}
+			out[i] = st
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ServiceStats aggregates every node's snapshot into one cluster-wide
+// server.Stats: the per-shard entries of all nodes concatenated (tagged
+// with their node index, so rate_changes histories stay per-shard and
+// adversary replay works unchanged), leaked bits summed across the cluster,
+// and the single cluster-wide budget judged against that sum. Per-node
+// budgets, if any node was started with one, are deliberately not
+// surfaced: the cluster session has one timing channel and one account.
+func (r *Router) ServiceStats() (server.Stats, error) {
+	nodes, err := r.NodeStats()
+	if err != nil {
+		return server.Stats{}, err
+	}
+	return Aggregate(nodes, r.blocks, r.blockBytes, r.cfg.LeakageBudgetBits), nil
+}
+
+// Aggregate merges per-node stats into the cluster view. Split out of
+// ServiceStats so tests (and offline tooling fed per-node records) can
+// aggregate without a live router.
+func Aggregate(nodes []server.Stats, blocks uint64, blockBytes int, budgetBits float64) server.Stats {
+	agg := server.Stats{
+		Blocks:            blocks,
+		BlockBytes:        blockBytes,
+		LeakageBudgetBits: budgetBits,
+	}
+	for node, st := range nodes {
+		for _, sh := range st.Shards {
+			sh.Node = node
+			agg.Shards = append(agg.Shards, sh)
+		}
+		agg.LeakedBits += st.LeakedBits
+	}
+	agg.LeakageExceeded = budgetBits > 0 && agg.LeakedBits > budgetBits
+	return agg
+}
+
+// Close tears down every pooled connection. The daemons keep running —
+// their slot grids, and therefore their timing behaviour, are independent
+// of whether a proxy is attached.
+func (r *Router) Close() error {
+	var first error
+	for _, p := range r.pools {
+		if p == nil {
+			continue
+		}
+		for _, c := range p.clients {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

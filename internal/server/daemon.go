@@ -18,23 +18,35 @@ const maxLineBytes = 1 << 20
 // (backpressure on top of the per-shard queues).
 const connConcurrency = 256
 
+// Service is what a JSON-lines daemon serves: the KV data ops plus a stats
+// snapshot. *Store satisfies it directly; the cluster router satisfies it by
+// fanning out to remote daemons, which is how cmd/oramproxy reuses this
+// entire connection-handling layer unchanged.
+type Service interface {
+	KV
+	// ServiceStats snapshots the serving-side counters. A local store can
+	// never fail here; a router polling remote nodes can, and the error is
+	// surfaced to the stats caller instead of tearing down the connection.
+	ServiceStats() (Stats, error)
+}
+
 // Serve accepts connections on l and speaks the JSON-lines protocol against
-// st until the listener is closed (or fails), then returns the accept
+// svc until the listener is closed (or fails), then returns the accept
 // error. Connection handlers drain independently; Serve does not wait for
 // them.
-func Serve(l net.Listener, st *Store) error {
+func Serve(l net.Listener, svc Service) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go HandleConn(conn, st)
+		go HandleConn(conn, svc)
 	}
 }
 
 // HandleConn runs one connection to completion. Exported so tests and
 // in-process harnesses can serve a net.Pipe or a single accepted socket.
-func HandleConn(conn net.Conn, st *Store) {
+func HandleConn(conn net.Conn, svc Service) {
 	defer conn.Close()
 
 	out := make(chan Response, connConcurrency)
@@ -95,15 +107,28 @@ func HandleConn(conn net.Conn, st *Store) {
 		case OpPing:
 			out <- Response{ID: req.ID, OK: true}
 		case OpStats:
-			stats := st.Stats()
-			out <- Response{ID: req.ID, OK: true, Stats: &stats}
+			// A router's stats poll fans out over the network, so it runs off
+			// the scan loop like a data op — a slow node must not stall
+			// pipelined reads behind it.
+			sem <- struct{}{}
+			inflight.Add(1)
+			go func(req Request) {
+				defer inflight.Done()
+				defer func() { <-sem }()
+				stats, err := svc.ServiceStats()
+				if err != nil {
+					out <- Response{ID: req.ID, OK: false, Err: err.Error()}
+					return
+				}
+				out <- Response{ID: req.ID, OK: true, Stats: &stats}
+			}(req)
 		case OpRead, OpWrite:
 			sem <- struct{}{}
 			inflight.Add(1)
 			go func(req Request) {
 				defer inflight.Done()
 				defer func() { <-sem }()
-				out <- dispatch(st, req)
+				out <- dispatch(svc, req)
 			}(req)
 		default:
 			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: unknown op %q", req.Op)}
@@ -120,17 +145,17 @@ func HandleConn(conn net.Conn, st *Store) {
 	writer.Wait()
 }
 
-// dispatch executes one blocking data op against the store.
-func dispatch(st *Store, req Request) Response {
+// dispatch executes one blocking data op against the service.
+func dispatch(svc Service, req Request) Response {
 	switch req.Op {
 	case OpRead:
-		data, err := st.Read(req.Addr)
+		data, err := svc.Read(req.Addr)
 		if err != nil {
 			return Response{ID: req.ID, OK: false, Err: err.Error()}
 		}
 		return Response{ID: req.ID, OK: true, Data: data}
 	case OpWrite:
-		if err := st.Write(req.Addr, req.Data); err != nil {
+		if err := svc.Write(req.Addr, req.Data); err != nil {
 			return Response{ID: req.ID, OK: false, Err: err.Error()}
 		}
 		return Response{ID: req.ID, OK: true}

@@ -365,6 +365,10 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// ServiceStats adapts Stats to the daemon's Service interface (a local
+// snapshot cannot fail).
+func (s *Store) ServiceStats() (Stats, error) { return s.Stats(), nil }
+
 // Close stops all shard goroutines, fails any still-queued requests with
 // ErrClosed, and returns once every goroutine has exited. Close is
 // idempotent.
@@ -403,6 +407,10 @@ type Stats struct {
 // ShardStats is one shard's activity snapshot.
 type ShardStats struct {
 	Shard int `json:"shard"`
+	// Node identifies which cluster node this shard lives on when the stats
+	// were aggregated by a routing proxy (internal/cluster); a single daemon
+	// always reports 0. (Node, Shard) is the cluster-unique shard identity.
+	Node int `json:"node,omitempty"`
 	// Queue is the number of requests submitted but not yet completed.
 	Queue int `json:"queue"`
 	// RealAccesses and DummyAccesses count issued ORAM accesses by kind;

@@ -5,6 +5,11 @@ package server
 // the matching response echoes, so clients may pipeline arbitrarily many
 // requests per connection; responses arrive in completion order, not
 // submission order (ORAM slots on different shards complete independently).
+// The cluster routing proxy (cmd/oramproxy) speaks exactly this protocol on
+// both faces: clients address it like a daemon, and it fans requests out to
+// daemons as a pipelined client, so every wire rule below applies unchanged
+// at each hop. Its stats responses aggregate all nodes' shards, each entry
+// tagged with its node index.
 //
 // Ops:
 //

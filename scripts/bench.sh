@@ -39,10 +39,17 @@ trap 'rm -f "$raw"' EXIT
 # BenchmarkServerThroughput fans out into per-shard-count sub-benchmarks,
 # including the recursive-backend series (recursive/shards=N,
 # recursive-unpaced, recursive-integrity-unpaced) that records the
-# flat-vs-recursive cost; every sub-benchmark lands in the JSON and is
-# gated by bench_compare.sh from its first committed record onward.
-benches='BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen|BenchmarkServerThroughput'
-go test -run '^$' -bench "$benches" -benchmem -benchtime="$benchtime" -count=1 . ./internal/server | tee "$raw"
+# flat-vs-recursive cost; BenchmarkClusterThroughput does the same one
+# level up (nodes=N over loopback TCP); every sub-benchmark lands in the
+# JSON and is gated by bench_compare.sh from its first committed record
+# onward. BenchmarkCalibration is the hardware yardstick: a fixed AES-CTR
+# loop recorded in every BENCH_*.json so bench_compare.sh can normalize
+# away runner-generation drift instead of gating code against hardware.
+# Naming convention the gate depends on: slot-grid-paced throughput series
+# are compared raw, everything else calibration-normalized, classified by
+# name — keep "unpaced" in the names of unpaced throughput sub-benchmarks.
+benches='BenchmarkCalibration|BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen|BenchmarkServerThroughput|BenchmarkClusterThroughput'
+go test -run '^$' -bench "$benches" -benchmem -benchtime="$benchtime" -count=1 . ./internal/server ./internal/cluster | tee "$raw"
 
 # Convert `go test -bench` lines into a JSON array. A bench line looks like:
 #   BenchmarkPathORAMAccess  202093  11572 ns/op  1 B/op  0 allocs/op
