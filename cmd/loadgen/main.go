@@ -22,6 +22,11 @@
 // position map; every level Merkle-verified) serves behind the same flags:
 //
 //	loadgen -oram recursive -integrity -olat 300 -rates 2700
+//
+// The batched backend serves up to k distinct blocks per slot and amortizes
+// write-back into a deterministic eviction pass every K slots:
+//
+//	loadgen -oram batched -batch-k 4 -evict-every 4 -olat 100 -rates 400
 package main
 
 import (
@@ -50,9 +55,11 @@ func main() {
 
 		// In-process server shape (ignored with -addr).
 		shards     = flag.Int("shards", 4, "in-process: shard count")
-		oram       = flag.String("oram", "flat", "in-process: per-shard ORAM backend: flat | recursive")
-		recursion  = flag.Int("recursion", 3, "in-process: position-map ORAM levels for -oram=recursive")
+		oram       = flag.String("oram", "flat", "in-process: per-shard ORAM backend: flat | recursive | batched")
+		recursion  = flag.Int("recursion", 3, "in-process: position-map ORAM levels for -oram=recursive (batched defaults to 0)")
 		integrity  = flag.Bool("integrity", false, "in-process: Merkle-verify every level's untrusted storage")
+		batchK     = flag.Int("batch-k", 4, "in-process: batched blocks fetched per slot (public parameter k)")
+		evictEvery = flag.Int("evict-every", 4, "in-process: slots between batched eviction passes (public parameter K)")
 		rates      = flag.String("rates", "85", "in-process: comma-separated rate set (cycles, ascending; one value = static)")
 		olat       = flag.Uint64("olat", 15, "in-process: ORAM latency in cycles")
 		epochLen   = flag.Uint64("epoch", 0, "in-process: first epoch length in cycles (0 = static rate)")
@@ -72,8 +79,10 @@ func main() {
 			Blocks:            *blocks,
 			BlockBytes:        *blockBytes,
 			Backend:           *oram,
-			Recursion:         *recursion,
+			Recursion:         effectiveRecursion(*oram, *recursion),
 			Integrity:         *integrity,
+			BatchK:            *batchK,
+			EvictEvery:        *evictEvery,
 			ClockHz:           1_000_000,
 			ORAMLatency:       *olat,
 			Rates:             rateSet,
@@ -193,6 +202,22 @@ func pickScenarios(s string) ([]workload.KVScenario, error) {
 		out = append(out, sc)
 	}
 	return out, nil
+}
+
+// effectiveRecursion mirrors oramd's handling of the -recursion default: its
+// value of 3 is tuned for -oram recursive, so a plain `-oram batched` gets a
+// flat position map unless -recursion was passed explicitly.
+func effectiveRecursion(backend string, recursion int) int {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "recursion" {
+			set = true
+		}
+	})
+	if backend == server.BackendBatched && !set {
+		return 0
+	}
+	return recursion
 }
 
 func fatal(err error) {

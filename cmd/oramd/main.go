@@ -9,6 +9,8 @@
 //	      -epoch 200000 -growth 2 -leak-budget 64        # dynamic epoch learner
 //	oramd -addr :7312 -oram recursive -integrity \
 //	      -blocks 1048576 -rates 2700                    # recursive stacks, Merkle-verified
+//	oramd -addr :7312 -oram batched -batch-k 4 \
+//	      -evict-every 4 -olat 100 -rates 400            # k blocks per slot, deferred eviction
 //	oramd -addr :7312 -unpaced                           # no timing protection
 //
 // The -stats control verb turns oramd into a client of a running daemon (or
@@ -38,9 +40,12 @@ func main() {
 		blocks     = flag.Uint64("blocks", 65536, "total address space in blocks")
 		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block")
 		z          = flag.Int("z", 3, "bucket capacity Z")
-		oram       = flag.String("oram", "flat", "per-shard ORAM backend: flat | recursive")
-		recursion  = flag.Int("recursion", 3, "position-map ORAM levels for -oram=recursive")
+		oram       = flag.String("oram", "flat", "per-shard ORAM backend: flat | recursive | batched")
+		recursion  = flag.Int("recursion", 3, "position-map ORAM levels for -oram=recursive (batched defaults to 0)")
 		integrity  = flag.Bool("integrity", false, "Merkle-verify every level's untrusted storage")
+		batchK     = flag.Int("batch-k", 4, "batched: distinct blocks fetched per slot (public parameter k)")
+		evictEvery = flag.Int("evict-every", 4, "batched: slots between deterministic eviction passes (public parameter K)")
+		batchHW    = flag.Int("batch-highwater", 0, "batched: stash high-water mark forcing an early eviction pass (0 = default)")
 		queue      = flag.Int("queue", 256, "per-shard request queue depth")
 		seed       = flag.Int64("seed", 1, "deterministic construction seed")
 		hz         = flag.Uint64("hz", 1_000_000, "enforcer cycle frequency (cycles/s)")
@@ -71,8 +76,11 @@ func main() {
 		BlockBytes:        *blockBytes,
 		Z:                 *z,
 		Backend:           *oram,
-		Recursion:         *recursion,
+		Recursion:         effectiveRecursion(*oram, *recursion),
 		Integrity:         *integrity,
+		BatchK:            *batchK,
+		EvictEvery:        *evictEvery,
+		BatchHighWater:    *batchHW,
 		QueueDepth:        *queue,
 		Seed:              *seed,
 		ClockHz:           *hz,
@@ -148,6 +156,24 @@ func pollStats(addr string) error {
 	}
 	fmt.Println(string(out))
 	return nil
+}
+
+// effectiveRecursion resolves the -recursion flag against the chosen backend.
+// The flag's default of 3 is tuned for -oram recursive; forwarding it blindly
+// would silently turn a plain `-oram batched` into a 3-level recursive stack,
+// so the batched backend gets a flat position map unless -recursion was
+// passed explicitly on the command line.
+func effectiveRecursion(backend string, recursion int) int {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "recursion" {
+			set = true
+		}
+	})
+	if backend == server.BackendBatched && !set {
+		return 0
+	}
+	return recursion
 }
 
 func fatal(err error) {

@@ -11,6 +11,12 @@
 //   - termination-time discretization (§6) and additive composition across
 //     channels (§10);
 //   - the probabilistic-leakage refinement of §10.
+//
+// The batched backend's k (blocks fetched per slot) and K (slots between
+// eviction passes) are public parameters of the scheme, exactly like the
+// rate set R: every slot performs the same k path fetches and the eviction
+// cadence is a fixed function of the slot index, so neither adds observable
+// traces and no new accounting term appears here.
 package leakage
 
 import (

@@ -1,0 +1,476 @@
+package pathoram
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"tcoram/internal/crypt"
+)
+
+// This file implements the multi-path batched backend: up to BatchK distinct
+// blocks are fetched per slot (dummies pad the count to exactly BatchK, so
+// the storage trace is independent of queue depth), and the write half of
+// the path cost is deferred to a deterministic eviction pass that runs every
+// EvictEvery slots along reverse-lexicographic paths — the background-
+// eviction idea of "Towards Practical Oblivious RAM" (Stefanov et al.)
+// crossed with the deterministic eviction order of Ring ORAM. BatchK and
+// EvictEvery are public parameters of the schedule, like the rate set R:
+// they shape every slot identically and leak nothing about the request
+// stream.
+
+// BatchOp is one member of a multi-path batch: apply Fn to the block's
+// payload while it sits in the stash (the same RMW contract as Update).
+type BatchOp struct {
+	Addr uint64
+	Fn   func(data []byte)
+}
+
+// BatchedConfig configures a Batched stack. The embedded RecursiveConfig
+// describes the data ORAM and optional position-map recursion; Recursion=0
+// keeps the whole position map on-chip (a flat-equivalent data ORAM).
+type BatchedConfig struct {
+	RecursiveConfig
+
+	// BatchK is the number of data paths fetched per slot, real or dummy
+	// (default 4). Public parameter.
+	BatchK int
+	// EvictEvery is the slot period of the background eviction pass
+	// (default 4). Public parameter.
+	EvictEvery int
+	// EvictPaths is the number of reverse-lexicographic paths read and
+	// rewritten per eviction pass. Default ceil(BatchK*EvictEvery/2): at
+	// most BatchK·EvictEvery blocks enter the stash between passes, and
+	// with Z=3 each evicted path absorbs well over two of them on average
+	// (the same access-to-eviction ratio Ring ORAM proves stable at
+	// A=3, Z=4).
+	EvictPaths int
+	// StashHighWater forces an early eviction pass when the data-level
+	// stash reaches this occupancy (default 8·BatchK·EvictEvery+64). The
+	// forced pass is an observable deviation from the fixed cadence, so it
+	// is a safety valve against pathological stash growth, not part of the
+	// steady-state schedule; ForcedEvictions counts how often it fired.
+	StashHighWater int
+}
+
+// DefaultBatchedConfig mirrors the evaluated configuration: k=4 paths per
+// slot, eviction every K=4 slots, no recursion (on-chip position map).
+func DefaultBatchedConfig(dataBlocks uint64) BatchedConfig {
+	cfg := BatchedConfig{RecursiveConfig: DefaultRecursiveConfig(dataBlocks)}
+	cfg.Recursion = 0
+	return cfg.withDefaults()
+}
+
+// withDefaults fills unset tuning knobs.
+func (c BatchedConfig) withDefaults() BatchedConfig {
+	if c.BatchK == 0 {
+		c.BatchK = 4
+	}
+	if c.EvictEvery == 0 {
+		c.EvictEvery = 4
+	}
+	if c.EvictPaths == 0 {
+		c.EvictPaths = (c.BatchK*c.EvictEvery + 1) / 2
+		if c.EvictPaths < 1 {
+			c.EvictPaths = 1
+		}
+	}
+	if c.StashHighWater == 0 {
+		c.StashHighWater = 8*c.BatchK*c.EvictEvery + 64
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c BatchedConfig) Validate() error {
+	if err := c.RecursiveConfig.Validate(); err != nil {
+		return err
+	}
+	c = c.withDefaults()
+	switch {
+	case c.BatchK < 1 || c.BatchK > 64:
+		return fmt.Errorf("pathoram: BatchK must be in [1,64], got %d", c.BatchK)
+	case c.EvictEvery < 1 || c.EvictEvery > 4096:
+		return fmt.Errorf("pathoram: EvictEvery must be in [1,4096], got %d", c.EvictEvery)
+	case c.EvictPaths < 1:
+		return fmt.Errorf("pathoram: EvictPaths must be positive, got %d", c.EvictPaths)
+	case c.StashHighWater < c.BatchK:
+		return fmt.Errorf("pathoram: StashHighWater %d cannot hold one slot's influx (BatchK %d)", c.StashHighWater, c.BatchK)
+	}
+	return nil
+}
+
+// SlotSig is the adversary-visible storage-access signature of one slot:
+// bucket transfer counts and bytes moved across the whole stack, plus
+// whether the slot carried an eviction pass. Because every slot fetches
+// exactly BatchK data paths (dummy-padded) and evictions follow a fixed
+// cadence, the signature sequence is a function of the slot index alone —
+// the data-independence tests compare these byte-for-byte across queue
+// depths.
+type SlotSig struct {
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	Bytes  uint64 `json:"bytes"`
+	Evict  bool   `json:"evict"`
+}
+
+// Batched is a multi-path batched fetch + deferred eviction ORAM over a
+// Recursive stack. Fetches read the target's data path without rewriting it
+// (the fetched block parks in the stash, its tree copy tombstoned); a
+// deterministic eviction pass every EvictEvery slots reads and greedily
+// rewrites EvictPaths reverse-lexicographic paths, amortizing the write
+// half of the path cost across slots. Position-map levels are untouched by
+// the deferral: they perform standard read+write accesses so recursion and
+// integrity compose unchanged.
+type Batched struct {
+	cfg  BatchedConfig
+	rec  *Recursive
+	data *ORAM
+
+	evictCounter uint64 // reverse-lexicographic eviction-path counter
+	sinceEvict   int    // slots since the last eviction pass
+	slots        uint64 // total slots served (AccessBatch calls)
+	evictPasses  uint64
+	forced       uint64 // eviction passes triggered by StashHighWater
+
+	one [1]BatchOp // scratch for Update
+
+	// TraceSlots records a SlotSig per AccessBatch call into SlotTrace.
+	TraceSlots bool
+	SlotTrace  []SlotSig
+	levelPrev  []levelIO // per-level counter snapshot for SlotSig deltas
+}
+
+type levelIO struct{ reads, writes uint64 }
+
+// NewBatched builds and initializes the stack.
+func NewBatched(cfg BatchedConfig, key crypt.Key, rng *rand.Rand) (*Batched, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rec, err := NewRecursive(cfg.RecursiveConfig, key, rng)
+	if err != nil {
+		return nil, err
+	}
+	data := rec.orams[0]
+	data.stale = make(map[uint64]map[uint64]struct{})
+	return &Batched{cfg: cfg, rec: rec, data: data}, nil
+}
+
+// Config returns the stack configuration (with defaults applied).
+func (b *Batched) Config() BatchedConfig { return b.cfg }
+
+// BatchK returns the number of paths fetched per slot — the server sizes
+// its per-slot queue drain from this.
+func (b *Batched) BatchK() int { return b.cfg.BatchK }
+
+// Blocks returns the addressable data-block count.
+func (b *Batched) Blocks() uint64 { return b.cfg.DataBlocks }
+
+// BlockBytes returns the data-block payload size.
+func (b *Batched) BlockBytes() int { return b.cfg.DataBlockBytes }
+
+// EnableIntegrity attaches Merkle verification to every level of the stack.
+// Must precede all accesses.
+func (b *Batched) EnableIntegrity() { b.rec.EnableIntegrity() }
+
+// StashOccupancy aggregates stash sizes across the stack (see
+// Recursive.StashOccupancy).
+func (b *Batched) StashOccupancy() (cur, peak int) { return b.rec.StashOccupancy() }
+
+// LevelStashPeaks appends each level's peak stash occupancy to dst; index 0
+// is the data ORAM, whose stash carries the deferred-eviction backlog.
+func (b *Batched) LevelStashPeaks(dst []int) []int { return b.rec.LevelStashPeaks(dst) }
+
+// ForcedEvictions returns how many eviction passes were forced by the
+// StashHighWater guard rather than the fixed cadence.
+func (b *Batched) ForcedEvictions() uint64 { return b.forced }
+
+// EvictPassCount returns the total number of eviction passes run.
+func (b *Batched) EvictPassCount() uint64 { return b.evictPasses }
+
+// Slots returns the number of AccessBatch calls served.
+func (b *Batched) Slots() uint64 { return b.slots }
+
+// StashBound is the documented worst-case data-level stash occupancy under
+// the high-water policy: the guard fires once occupancy reaches
+// StashHighWater after a slot's ≤BatchK-block influx, and the eviction pass
+// itself transiently stages up to Z·Levels tree blocks per path before the
+// same path's write-back re-evicts them.
+func (b *Batched) StashBound() int {
+	g := b.data.geom
+	return b.cfg.StashHighWater + b.cfg.BatchK + g.Z*g.Levels
+}
+
+// Update performs a single-block access as a batch of one — the uniform
+// Backend surface. The slot still fetches BatchK paths and follows the
+// eviction cadence, so pacing semantics are identical to AccessBatch.
+func (b *Batched) Update(addr uint64, fn func(data []byte)) error {
+	b.one[0] = BatchOp{Addr: addr, Fn: fn}
+	err := b.AccessBatch(b.one[:1])
+	b.one[0] = BatchOp{}
+	return err
+}
+
+// DummyAccess serves an all-dummy slot: BatchK dummy path fetches plus the
+// eviction cadence, indistinguishable from a fully loaded slot.
+func (b *Batched) DummyAccess() error { return b.AccessBatch(nil) }
+
+// AccessBatch serves one slot: exactly BatchK data-path fetches — the first
+// len(ops) real, the rest dummies — followed by an eviction pass when one
+// is due (every EvictEvery slots, or early if the stash hit the high-water
+// mark). Duplicate addresses within a batch are legal; later members find
+// the block already in the stash and their fetch degenerates to a
+// dummy-shaped path read, so coalescing at the server is an optimization,
+// not a requirement.
+func (b *Batched) AccessBatch(ops []BatchOp) error {
+	if len(ops) > b.cfg.BatchK {
+		return fmt.Errorf("pathoram: batch of %d exceeds BatchK %d", len(ops), b.cfg.BatchK)
+	}
+	for i := 0; i < b.cfg.BatchK; i++ {
+		var err error
+		if i < len(ops) {
+			err = b.fetchReal(ops[i])
+		} else {
+			err = b.fetchDummy()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	b.slots++
+	b.sinceEvict++
+	evict := b.sinceEvict >= b.cfg.EvictEvery
+	if !evict && b.data.stash.Len() >= b.cfg.StashHighWater {
+		b.forced++
+		evict = true
+	}
+	if evict {
+		if err := b.evictPass(); err != nil {
+			return err
+		}
+		b.sinceEvict = 0
+	}
+	if b.TraceSlots {
+		b.recordSlot(evict)
+	}
+	return nil
+}
+
+// fetchReal resolves addr through the position-map recursion (standard
+// read+write accesses at every posmap level), then fetches the data path
+// read-only, parking the block in the stash under its fresh leaf.
+func (b *Batched) fetchReal(op BatchOp) error {
+	if op.Addr >= b.cfg.DataBlocks {
+		return fmt.Errorf("pathoram: data block %d out of range (%d blocks)", op.Addr, b.cfg.DataBlocks)
+	}
+	newLeaf := uint32(b.rec.rng.Int63n(int64(b.data.geom.Leaves())))
+	curLeaf, err := b.rec.lookupAndRemap(0, op.Addr, newLeaf)
+	if err != nil {
+		return err
+	}
+	leaf := uint64(curLeaf)
+	if curLeaf == unassignedLabel {
+		leaf = b.data.randomLeaf()
+	}
+	// Mirror the external chain in the data ORAM's internal map, as
+	// accessAt does — eviction planning and the invariant checker read it.
+	b.data.posmap.Set(op.Addr, uint64(newLeaf))
+	if err := b.data.fetchPath(leaf, op.Addr, uint64(newLeaf)); err != nil {
+		return err
+	}
+	if op.Fn != nil {
+		op.Fn(b.data.stash.Get(op.Addr).Data)
+	}
+	b.data.Accesses++
+	b.rec.Accesses++
+	return nil
+}
+
+// fetchDummy pads the slot: a standard dummy access at every posmap level
+// (same order as a real fetch's recursion unwind) and a read-only fetch of
+// a random data path that extracts nothing.
+func (b *Batched) fetchDummy() error {
+	for i := len(b.rec.orams) - 1; i >= 1; i-- {
+		if err := b.rec.orams[i].DummyAccess(); err != nil {
+			return err
+		}
+	}
+	if err := b.data.fetchPath(b.data.randomLeaf(), DummyAddr, 0); err != nil {
+		return err
+	}
+	b.data.DummyAccesses++
+	b.rec.DummyAccesses++
+	return nil
+}
+
+// evictPass reads and greedily rewrites EvictPaths paths in reverse-
+// lexicographic order — a deterministic sweep that touches every bucket at
+// a fixed frequency regardless of the access pattern.
+func (b *Batched) evictPass() error {
+	for i := 0; i < b.cfg.EvictPaths; i++ {
+		leaf := b.nextEvictLeaf()
+		if err := b.data.evictReadPath(leaf); err != nil {
+			return err
+		}
+		if err := b.data.writePath(leaf); err != nil {
+			return err
+		}
+	}
+	b.evictPasses++
+	return nil
+}
+
+// nextEvictLeaf returns the next leaf of the reverse-lexicographic eviction
+// order: the bit-reversal of a counter, so successive paths diverge at the
+// root and every subtree is visited at a frequency proportional to its
+// size (Ring ORAM's deterministic order; see also SNIPPETS Snippet 1).
+func (b *Batched) nextEvictLeaf() uint64 {
+	w := uint(b.data.geom.Levels - 1)
+	ctr := b.evictCounter
+	b.evictCounter++
+	if w == 0 {
+		return 0
+	}
+	return bits.Reverse64(ctr%b.data.geom.Leaves()) >> (64 - w)
+}
+
+// recordSlot appends the slot's SlotSig from per-level counter deltas.
+func (b *Batched) recordSlot(evict bool) {
+	if b.levelPrev == nil {
+		b.levelPrev = make([]levelIO, len(b.rec.orams))
+	}
+	var sig SlotSig
+	sig.Evict = evict
+	for i, o := range b.rec.orams {
+		dr := o.BucketReads - b.levelPrev[i].reads
+		dw := o.BucketWrites - b.levelPrev[i].writes
+		sig.Reads += dr
+		sig.Writes += dw
+		sig.Bytes += (dr + dw) * uint64(o.geom.BucketCipherBytes())
+		b.levelPrev[i] = levelIO{o.BucketReads, o.BucketWrites}
+	}
+	b.SlotTrace = append(b.SlotTrace, sig)
+}
+
+// fetchPath is the read half of a deferred-eviction access: decrypt (and
+// integrity-verify) every bucket on the path to leaf, extract only the
+// target block into the stash, and leave the path unwritten. The extracted
+// tree copy is tombstoned in o.stale so later path reads and eviction
+// sweeps ignore it until some write-back overwrites its bucket — without
+// the tombstone, a stale copy left in the tree could resurrect old data
+// after the fresh stash copy is evicted elsewhere. target == DummyAddr
+// extracts nothing (a dummy fetch, identical on the bus).
+func (o *ORAM) fetchPath(leaf, target, newLeaf uint64) error {
+	o.pathBuf = o.geom.PathIndices(o.pathBuf[:0], leaf)
+	slotBytes := BlockHeaderBytes + o.geom.BlockBytes
+	want := target != DummyAddr && o.stash.Get(target) == nil
+	for _, idx := range o.pathBuf {
+		ct := o.store.ReadBucket(idx)
+		if o.integrity != nil {
+			if err := o.integrity.verify(idx, ct); err != nil {
+				return err
+			}
+		}
+		if err := o.cipher.DecryptTo(o.ptBuf, ct); err != nil {
+			return err
+		}
+		if want {
+			for i := 0; i < o.geom.Z; i++ {
+				off := i * slotBytes
+				addr, _ := unpackHeader(o.ptBuf[off:])
+				if addr != target || o.isStale(idx, addr) {
+					continue
+				}
+				o.stash.Put(Block{Addr: target, Leaf: newLeaf, Data: o.ptBuf[off+BlockHeaderBytes : off+slotBytes]})
+				o.markStale(idx, target)
+				want = false
+				break
+			}
+		}
+		o.BucketReads++
+		if o.TraceBus {
+			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: false})
+		}
+	}
+	if target == DummyAddr {
+		return nil
+	}
+	blk := o.stash.Get(target)
+	if blk == nil {
+		o.stash.Put(Block{Addr: target, Leaf: newLeaf, Data: o.zeroBuf})
+		blk = o.stash.Get(target)
+	}
+	blk.Leaf = newLeaf
+	return nil
+}
+
+// evictReadPath stages a path for greedy write-back: every live (non-dummy,
+// non-tombstoned, not already stash-resident) tree block on the path enters
+// the stash so the following writePath can re-place the whole path's worth
+// of blocks plus any eligible stash backlog.
+func (o *ORAM) evictReadPath(leaf uint64) error {
+	o.pathBuf = o.geom.PathIndices(o.pathBuf[:0], leaf)
+	slotBytes := BlockHeaderBytes + o.geom.BlockBytes
+	for _, idx := range o.pathBuf {
+		ct := o.store.ReadBucket(idx)
+		if o.integrity != nil {
+			if err := o.integrity.verify(idx, ct); err != nil {
+				return err
+			}
+		}
+		if err := o.cipher.DecryptTo(o.ptBuf, ct); err != nil {
+			return err
+		}
+		for i := 0; i < o.geom.Z; i++ {
+			off := i * slotBytes
+			addr, blkLeaf := unpackHeader(o.ptBuf[off:])
+			if addr == DummyAddr || o.isStale(idx, addr) || o.stash.Get(addr) != nil {
+				continue
+			}
+			o.stash.Put(Block{Addr: addr, Leaf: blkLeaf, Data: o.ptBuf[off+BlockHeaderBytes : off+slotBytes]})
+		}
+		o.BucketReads++
+		if o.TraceBus {
+			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: false})
+		}
+	}
+	return nil
+}
+
+// markStale tombstones the tree copy of addr in bucket.
+func (o *ORAM) markStale(bucket, addr uint64) {
+	if o.stale == nil {
+		o.stale = make(map[uint64]map[uint64]struct{})
+	}
+	set := o.stale[bucket]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		o.stale[bucket] = set
+	}
+	set[addr] = struct{}{}
+}
+
+// isStale reports whether the copy of addr in bucket is tombstoned.
+func (o *ORAM) isStale(bucket, addr uint64) bool {
+	set, ok := o.stale[bucket]
+	if !ok {
+		return false
+	}
+	_, stale := set[addr]
+	return stale
+}
+
+// CheckInvariant verifies the stack's correctness invariants after deferred
+// eviction: every level's ORAM passes its path invariant (with tombstoned
+// copies excluded), and no data block is live both in the stash and in the
+// tree. O(tree); intended for tests.
+func (b *Batched) CheckInvariant() error {
+	for i, o := range b.rec.orams {
+		if err := o.CheckInvariant(); err != nil {
+			return fmt.Errorf("level %d: %w", i, err)
+		}
+	}
+	return nil
+}

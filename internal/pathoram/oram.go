@@ -55,9 +55,19 @@ type ORAM struct {
 
 	integrity *merkleTree // optional integrity extension ([25])
 
+	// stale marks tree copies of blocks whose authoritative version lives in
+	// the stash because a deferred-eviction (batched) access extracted them
+	// without rewriting the path: bucket index -> set of stale addresses.
+	// nil outside batched mode; writePath clears a bucket's entry whenever it
+	// rewrites that bucket, since the rewrite either re-evicts the fresh copy
+	// or replaces the slot. See fetchPath.
+	stale map[uint64]map[uint64]struct{}
+
 	// Stats.
 	Accesses      uint64
 	DummyAccesses uint64
+	BucketReads   uint64     // buckets fetched from untrusted storage
+	BucketWrites  uint64     // buckets written back to untrusted storage
 	BusTrace      []BusEvent // populated only when TraceBus is true
 	TraceBus      bool
 }
@@ -256,11 +266,12 @@ func (o *ORAM) readPath(leaf uint64) error {
 		for i := 0; i < o.geom.Z; i++ {
 			off := i * slotBytes
 			addr, blkLeaf := unpackHeader(o.ptBuf[off:])
-			if addr == DummyAddr {
+			if addr == DummyAddr || o.isStale(idx, addr) {
 				continue
 			}
 			o.stash.Put(Block{Addr: addr, Leaf: blkLeaf, Data: o.ptBuf[off+BlockHeaderBytes : off+slotBytes]})
 		}
+		o.BucketReads++
 		if o.TraceBus {
 			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: false})
 		}
@@ -285,6 +296,12 @@ func (o *ORAM) writePath(leaf uint64) error {
 		if o.integrity != nil {
 			o.integrity.update(idx, ct)
 		}
+		if o.stale != nil {
+			// The rewrite replaced every slot in this bucket; any stale
+			// tombstones it carried are now vacuous.
+			delete(o.stale, idx)
+		}
+		o.BucketWrites++
 		if o.TraceBus {
 			o.BusTrace = append(o.BusTrace, BusEvent{Bucket: idx, Write: true})
 		}
@@ -328,6 +345,9 @@ func (o *ORAM) CheckInvariant() error {
 			return err
 		}
 		for _, b := range blocks {
+			if o.isStale(idx, b.Addr) {
+				continue // superseded copy awaiting overwrite (batched mode)
+			}
 			if prev, dup := located[b.Addr]; dup {
 				return fmt.Errorf("pathoram: block %#x duplicated in buckets %d and %d", b.Addr, prev, idx)
 			}
@@ -340,6 +360,9 @@ func (o *ORAM) CheckInvariant() error {
 			return
 		}
 		if o.stash.Get(addr) != nil {
+			if bucket, dup := located[addr]; dup {
+				invErr = fmt.Errorf("pathoram: block %#x live in both stash and bucket %d", addr, bucket)
+			}
 			return
 		}
 		bucket, ok := located[addr]

@@ -77,6 +77,30 @@ func NewRecursiveShardSet(n int, cfg RecursiveConfig, key crypt.Key, seed int64)
 	return shards, nil
 }
 
+// NewBatchedShardSet is NewShardSet for batched multi-path stacks: n
+// independent Batched ORAMs with identical configuration, encrypted under
+// the same session key, each with its own deterministic RNG stream (the
+// shared-state audit above applies level by level, and the batched state —
+// stash backlog, tombstones, eviction counter — is all per-instance).
+// Identical (cfg, key, seed) inputs rebuild byte-identical shard sets.
+func NewBatchedShardSet(n int, cfg BatchedConfig, key crypt.Key, seed int64) ([]*Batched, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("pathoram: shard count must be positive, got %d", n)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([]*Batched, n)
+	for i := range shards {
+		b, err := NewBatched(cfg, key, rand.New(rand.NewSource(shardSeed(seed, i))))
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: building batched shard %d: %w", i, err)
+		}
+		shards[i] = b
+	}
+	return shards, nil
+}
+
 // shardSeed derives shard i's RNG seed from the set seed via splitmix64, so
 // adjacent shard indices get decorrelated streams.
 func shardSeed(seed int64, i int) int64 {

@@ -33,9 +33,21 @@ type Backend interface {
 	BlockBytes() int
 }
 
+// BatchBackend is the optional batch entry point a Backend may provide: up
+// to BatchK distinct blocks served in one slot via multi-path fetch, with
+// dummy paths padding the slot so the storage trace is independent of how
+// many real ops the batch carries. A shard whose backend implements this
+// drains up to BatchK coalesced groups per slot instead of one.
+type BatchBackend interface {
+	Backend
+	BatchK() int
+	AccessBatch(ops []pathoram.BatchOp) error
+}
+
 var (
-	_ Backend = (*pathoram.ORAM)(nil)
-	_ Backend = (*pathoram.Recursive)(nil)
+	_ Backend      = (*pathoram.ORAM)(nil)
+	_ Backend      = (*pathoram.Recursive)(nil)
+	_ BatchBackend = (*pathoram.Batched)(nil)
 )
 
 // Backend selector values for Config.Backend.
@@ -49,6 +61,11 @@ const (
 	// but on-chip position-map state shrinks by the label fan-out per
 	// recursion level, serving address spaces a flat map can't hold.
 	BackendRecursive = "recursive"
+	// BackendBatched serves each shard from a multi-path batched stack: up
+	// to BatchK blocks fetched per slot (dummy-padded to a fixed path
+	// count) with write-back deferred to a deterministic eviction pass
+	// every EvictEvery slots. Composes with Recursion and Integrity.
+	BackendBatched = "batched"
 )
 
 // recursiveShardConfig derives the per-shard recursive stack shape from the
@@ -65,13 +82,31 @@ func recursiveShardConfig(cfg Config) pathoram.RecursiveConfig {
 	}
 }
 
+// batchedShardConfig derives the per-shard batched stack from the store
+// config: the recursive shape plus the batching knobs.
+func batchedShardConfig(cfg Config) pathoram.BatchedConfig {
+	return pathoram.BatchedConfig{
+		RecursiveConfig: recursiveShardConfig(cfg),
+		BatchK:          cfg.BatchK,
+		EvictEvery:      cfg.EvictEvery,
+		StashHighWater:  cfg.BatchHighWater,
+	}
+}
+
 // BackendLabel renders the effective backend configuration for human-
-// readable status lines ("flat", "recursive×3+integrity") — shared by both
-// CLIs so the description can't drift between them.
+// readable status lines ("flat", "recursive×3+integrity",
+// "batched(k=4,K=4)") — shared by both CLIs so the description can't drift
+// between them.
 func (c Config) BackendLabel() string {
 	label := c.Backend
-	if c.Backend == BackendRecursive {
+	switch c.Backend {
+	case BackendRecursive:
 		label = fmt.Sprintf("recursive×%d", c.Recursion)
+	case BackendBatched:
+		label = fmt.Sprintf("batched(k=%d,K=%d)", c.BatchK, c.EvictEvery)
+		if c.Recursion > 0 {
+			label = fmt.Sprintf("batched×%d(k=%d,K=%d)", c.Recursion, c.BatchK, c.EvictEvery)
+		}
 	}
 	if c.Integrity {
 		label += "+integrity"
@@ -104,8 +139,16 @@ func newBackends(cfg Config) ([]Backend, error) {
 		for _, r := range recs {
 			backends = append(backends, r)
 		}
+	case BackendBatched:
+		bats, err := pathoram.NewBatchedShardSet(cfg.Shards, batchedShardConfig(cfg), cfg.Key, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bats {
+			backends = append(backends, b)
+		}
 	default:
-		return nil, fmt.Errorf("server: unknown Backend %q (want %q or %q)", cfg.Backend, BackendFlat, BackendRecursive)
+		return nil, fmt.Errorf("server: unknown Backend %q (want %q, %q or %q)", cfg.Backend, BackendFlat, BackendRecursive, BackendBatched)
 	}
 	perShard := (cfg.Blocks + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
 	for i, b := range backends {

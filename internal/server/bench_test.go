@@ -65,9 +65,36 @@ func BenchmarkServerThroughput(b *testing.B) {
 			cfg.Unpaced = true
 		})
 	})
+	// The batched multi-path series: same 500 µs slot period as the flat
+	// paced series above, but each slot serves up to k=4 distinct blocks, so
+	// paced throughput approaches k·shards/period instead of shards/period.
+	// The client pool is sized to keep ≥ k distinct blocks queued per shard
+	// (2 clients per shard would cap queue depth at 2 and mask the batch
+	// win). The unpaced variant measures the raw capacity cost of a batched
+	// slot (k fetches + amortized eviction) with no grid.
+	batched := func(cfg *Config) {
+		cfg.Backend = BackendBatched
+		cfg.BatchK = 4
+		cfg.EvictEvery = 4
+	}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("batched/shards=%d", n), func(b *testing.B) {
+			runThroughputClients(b, n, 16*n, batched)
+		})
+	}
+	b.Run("batched-unpaced/shards=4", func(b *testing.B) {
+		runThroughputClients(b, 4, 32, func(cfg *Config) {
+			batched(cfg)
+			cfg.Unpaced = true
+		})
+	})
 }
 
 func runThroughput(b *testing.B, shards int, mutate func(*Config)) {
+	runThroughputClients(b, shards, 2*shards, mutate)
+}
+
+func runThroughputClients(b *testing.B, shards, clients int, mutate func(*Config)) {
 	cfg := Config{
 		Shards:      shards,
 		Blocks:      4096, // constant dataset: more shards = smaller sub-trees
@@ -88,7 +115,6 @@ func runThroughput(b *testing.B, shards int, mutate func(*Config)) {
 
 	var remaining atomic.Int64
 	remaining.Store(int64(b.N))
-	clients := 2 * shards
 	var wg sync.WaitGroup
 	b.ResetTimer()
 	for cl := 0; cl < clients; cl++ {

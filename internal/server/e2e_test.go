@@ -193,6 +193,92 @@ func TestEndToEndRecursiveIntegrity(t *testing.T) {
 	}
 }
 
+// TestEndToEndBatched is the batched-backend acceptance run: the same TCP
+// loadgen drill, but every shard serves up to k=4 blocks per slot from a
+// multi-path batched stack with deferred background eviction. All scenarios
+// must complete with zero lost and zero corrupted operations — the batching
+// may not change the service's semantics, only how much each slot carries.
+func TestEndToEndBatched(t *testing.T) {
+	// A batched slot fetches k data paths plus an amortized share of the
+	// eviction pass (~2k path read+writes per K slots), so one slot costs a
+	// few times a flat access; a 3 ms slot period keeps four pacing loops
+	// inside their budget under -race while still finishing 400 ops per
+	// scenario in about a second at k=4 per slot.
+	cfg := Config{
+		Shards:      4,
+		Blocks:      1024,
+		BlockBytes:  64,
+		Backend:     BackendBatched,
+		BatchK:      4,
+		EvictEvery:  4,
+		ClockHz:     1_000_000,
+		ORAMLatency: 300,
+		Rates:       []uint64{2700},
+	}
+	_, addr := startDaemon(t, cfg)
+
+	statsClient, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsClient.Close()
+
+	for _, sc := range workload.KVScenarios() {
+		sc := sc
+		t.Run(string(sc), func(t *testing.T) {
+			rep, err := RunLoad(
+				func() (KV, error) { return Dial(addr) },
+				func() (Stats, error) { return statsClient.Stats() },
+				LoadConfig{
+					Scenario:     sc,
+					Clients:      8,
+					OpsPerClient: 50,
+					Blocks:       cfg.Blocks,
+					BlockBytes:   cfg.BlockBytes,
+					Seed:         44,
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Lost != 0 {
+				t.Errorf("%s: %d lost requests", sc, rep.Lost)
+			}
+			if rep.Corrupted != 0 {
+				t.Errorf("%s: %d corrupted reads", sc, rep.Corrupted)
+			}
+			if rep.Ops != 400 {
+				t.Errorf("%s: completed %d ops, want 400", sc, rep.Ops)
+			}
+			if rep.RealAccesses == 0 {
+				t.Errorf("%s: no real ORAM accesses recorded", sc)
+			}
+		})
+	}
+
+	stats, err := statsClient.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dummy, _ := stats.Totals()
+	if dummy == 0 {
+		t.Error("no dummy accesses across the whole run — pacing inactive?")
+	}
+	var fetched uint64
+	for _, sh := range stats.Shards {
+		if sh.Failed {
+			t.Errorf("shard %d reported failure", sh.Shard)
+		}
+		// The batch counters and stash breakdown must survive the wire.
+		if len(sh.StashPeaks) != 1 {
+			t.Errorf("shard %d StashPeaks over the wire = %v, want 1 level", sh.Shard, sh.StashPeaks)
+		}
+		fetched += sh.BatchFetched
+	}
+	if fetched == 0 {
+		t.Error("no BatchFetched blocks reported over the wire")
+	}
+}
+
 // TestDaemonProtocolErrors exercises malformed input and error mapping over
 // a real socket.
 func TestDaemonProtocolErrors(t *testing.T) {

@@ -63,6 +63,20 @@ type Config struct {
 	// Recursion is the number of position-map ORAM levels for
 	// BackendRecursive (default 3, the paper's stack; ignored for flat).
 	Recursion int
+	// BatchK is the number of blocks a BackendBatched shard may serve per
+	// slot via multi-path fetch; every slot reads exactly BatchK data
+	// paths, real or dummy (default 4; ignored for other backends). A
+	// public parameter of the schedule, like Rates.
+	BatchK int
+	// EvictEvery is the slot period of the batched backend's deterministic
+	// background eviction pass (default 4; ignored for other backends).
+	// Public, like BatchK.
+	EvictEvery int
+	// BatchHighWater forces an early eviction pass when a batched shard's
+	// data-level stash reaches this occupancy (0 = the backend's derived
+	// default). A safety valve, not part of the steady-state schedule;
+	// ShardStats.ForcedEvictions counts how often it fired.
+	BatchHighWater int
 	// Integrity attaches Merkle verification ([25], §4.3) to every level of
 	// every shard's untrusted storage: tampered buckets fail the next path
 	// read instead of decrypting to garbage.
@@ -125,6 +139,14 @@ func (c Config) withDefaults() Config {
 	if c.Backend == BackendRecursive && c.Recursion == 0 {
 		c.Recursion = 3
 	}
+	if c.Backend == BackendBatched {
+		if c.BatchK == 0 {
+			c.BatchK = 4
+		}
+		if c.EvictEvery == 0 {
+			c.EvictEvery = 4
+		}
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -181,8 +203,24 @@ func (c Config) Validate() error {
 		if err := recursiveShardConfig(c).Validate(); err != nil {
 			return fmt.Errorf("server: Backend %q: %w", c.Backend, err)
 		}
+	case BackendBatched:
+		if c.Recursion < 0 || c.Recursion > 8 {
+			return fmt.Errorf("server: Recursion must be in [0,8], got %d", c.Recursion)
+		}
+		if c.BatchK < 1 || c.BatchK > 64 {
+			return fmt.Errorf("server: BatchK must be in [1,64], got %d", c.BatchK)
+		}
+		if c.EvictEvery < 1 || c.EvictEvery > 4096 {
+			return fmt.Errorf("server: EvictEvery must be in [1,4096], got %d", c.EvictEvery)
+		}
+		if c.BatchHighWater < 0 {
+			return fmt.Errorf("server: BatchHighWater must not be negative, got %d", c.BatchHighWater)
+		}
+		if err := batchedShardConfig(c).Validate(); err != nil {
+			return fmt.Errorf("server: Backend %q: %w", c.Backend, err)
+		}
 	default:
-		return fmt.Errorf("server: unknown Backend %q (want %q or %q)", c.Backend, BackendFlat, BackendRecursive)
+		return fmt.Errorf("server: unknown Backend %q (want %q, %q or %q)", c.Backend, BackendFlat, BackendRecursive, BackendBatched)
 	}
 	if c.LeakageBudgetBits < 0 {
 		return fmt.Errorf("server: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
@@ -421,6 +459,14 @@ type ShardStats struct {
 	// Coalesced counts requests that were absorbed into another request's
 	// access (same block, in flight together).
 	Coalesced uint64 `json:"coalesced"`
+	// BatchFetched counts distinct blocks served through multi-path batch
+	// slots (BackendBatched only); per real slot it can reach the
+	// configured BatchK, versus exactly 1 for the single-access backends.
+	BatchFetched uint64 `json:"batch_fetched,omitempty"`
+	// ForcedEvictions counts eviction passes a batched shard ran early
+	// because its stash hit the high-water mark — deviations from the
+	// fixed eviction cadence, surfaced for monitoring.
+	ForcedEvictions uint64 `json:"forced_evictions,omitempty"`
 	// Rate and Epoch mirror the shard enforcer's public state (zero in
 	// Unpaced mode).
 	Rate  uint64 `json:"rate"`

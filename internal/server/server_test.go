@@ -303,6 +303,55 @@ func TestTakeGroupEarliestArrival(t *testing.T) {
 	}
 }
 
+// TestTakeBatchEarliestArrival extends the learner-input fix to the batched
+// drain: when a slot serves up to k distinct-block groups, the arrival it
+// reports to TakeSlot is the earliest stamp across every member of every
+// drained group — all those members' wait intervals end at this same slot,
+// so their union is [min arrival, slot], exactly as for one coalesced
+// group. Reporting only the first group's minimum would hide a later
+// group's earlier-stamped member from the learner's Waste precisely when
+// batching is doing its job.
+func TestTakeBatchEarliestArrival(t *testing.T) {
+	mk := func(local, arrival uint64) *request {
+		return &request{local: local, arrival: arrival, resp: make(chan result, 1)}
+	}
+	sh := &shard{}
+	sh.fifo = []*request{mk(7, 100), mk(3, 50), mk(7, 40), mk(9, 200), mk(3, 25), mk(5, 500)}
+
+	arrival := sh.takeBatch(3)
+	if arrival != 25 {
+		t.Errorf("batch arrival = %d, want 25 (earliest member of the block-3 group)", arrival)
+	}
+	if len(sh.batch) != 3 {
+		t.Fatalf("batch has %d groups, want 3", len(sh.batch))
+	}
+	wantGroups := [][]uint64{{7, 7}, {3, 3}, {9}}
+	for i, g := range sh.batch {
+		if len(g) != len(wantGroups[i]) {
+			t.Fatalf("group %d has %d members, want %d", i, len(g), len(wantGroups[i]))
+		}
+		for j, req := range g {
+			if req.local != wantGroups[i][j] {
+				t.Errorf("group %d member %d is block %d, want %d", i, j, req.local, wantGroups[i][j])
+			}
+		}
+	}
+	if len(sh.fifo) != 1 || sh.fifo[0].local != 5 {
+		t.Errorf("remaining fifo = %+v, want the single block-5 request", sh.fifo)
+	}
+	if got := sh.coalesced.Load(); got != 2 {
+		t.Errorf("coalesced = %d, want 2 (one extra member each in groups 7 and 3)", got)
+	}
+
+	// A second drain takes the leftover and reports its own arrival.
+	if arrival := sh.takeBatch(3); arrival != 500 {
+		t.Errorf("second batch arrival = %d, want 500", arrival)
+	}
+	if len(sh.batch) != 1 {
+		t.Errorf("second batch has %d groups, want 1", len(sh.batch))
+	}
+}
+
 // TestCoalescedWaitsReachLearnerWaste drives the real pacing loop: requests
 // that pile up behind a slow slot grid and coalesce into one access must
 // still deposit their queueing time into the enforcer's Waste counter — the
@@ -516,6 +565,11 @@ func TestConfigValidation(t *testing.T) {
 		{"initial rate off-set", Config{Rates: []uint64{45, 495}, InitialRate: 86}, "InitialRate"},
 		{"unknown backend", Config{Backend: "pyramid"}, "Backend"},
 		{"recursion too deep", Config{Backend: BackendRecursive, Recursion: 9}, "Recursion"},
+		{"batched bad k", Config{Backend: BackendBatched, BatchK: -1}, "BatchK"},
+		{"batched k too large", Config{Backend: BackendBatched, BatchK: 65}, "BatchK"},
+		{"batched bad evict period", Config{Backend: BackendBatched, EvictEvery: -1}, "EvictEvery"},
+		{"batched negative high water", Config{Backend: BackendBatched, BatchHighWater: -5}, "BatchHighWater"},
+		{"batched recursion too deep", Config{Backend: BackendBatched, Recursion: 9}, "Recursion"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -617,6 +671,121 @@ func TestRecursiveBackendReadYourWrites(t *testing.T) {
 		if sh.StashPeaks[0] == 0 {
 			t.Errorf("shard %d data-level stash peak is 0 after 96 real accesses", sh.Shard)
 		}
+	}
+}
+
+// TestBatchedBackendReadYourWrites serves the store from batched multi-path
+// shard backends (with recursion and integrity layered on): the KV surface
+// must behave identically to the other backends, and the stats must expose
+// the batch counters and per-level stash peaks.
+func TestBatchedBackendReadYourWrites(t *testing.T) {
+	cfg := fastConfig(2)
+	cfg.Backend = BackendBatched
+	cfg.Recursion = 1
+	cfg.Integrity = true
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if got := st.Config().BatchK; got != 4 {
+		t.Fatalf("effective BatchK = %d, want the default 4", got)
+	}
+	if got := st.Config().BackendLabel(); got != "batched×1(k=4,K=4)+integrity" {
+		t.Fatalf("BackendLabel = %q", got)
+	}
+	for addr := uint64(0); addr < 48; addr++ {
+		want := make([]byte, 64)
+		FillPayload(want, addr, 0, addr)
+		if err := st.Write(addr, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := st.Read(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: read %x, want %x", addr, got[:16], want[:16])
+		}
+	}
+	got, err := st.Read(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, 64)) {
+		t.Fatalf("unwritten block not zero: %x", got[:16])
+	}
+	if _, err := st.Read(4096); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+
+	stats := st.Stats()
+	var fetched uint64
+	for _, sh := range stats.Shards {
+		if len(sh.StashPeaks) != 1+cfg.Recursion {
+			t.Errorf("shard %d StashPeaks has %d levels, want %d", sh.Shard, len(sh.StashPeaks), 1+cfg.Recursion)
+		}
+		if sh.StashPeaks[0] == 0 {
+			t.Errorf("shard %d data-level stash peak is 0 after real batched accesses", sh.Shard)
+		}
+		fetched += sh.BatchFetched
+	}
+	if fetched == 0 {
+		t.Error("no blocks reported through BatchFetched on a batched backend")
+	}
+}
+
+// TestBatchedBackendServesKPerSlot is the tentpole's throughput mechanism
+// observed directly: distinct-block requests held by a slow slot grid are
+// served k per slot, where the single-access backends would need one slot
+// each.
+func TestBatchedBackendServesKPerSlot(t *testing.T) {
+	cfg := Config{
+		Shards:      1,
+		Blocks:      64,
+		BlockBytes:  64,
+		Backend:     BackendBatched,
+		BatchK:      4,
+		EvictEvery:  4,
+		ClockHz:     1_000_000,
+		ORAMLatency: 5_000,
+		Rates:       []uint64{45_000}, // 50 ms slots: requests pile up
+	}
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const n = 8 // two full batches of distinct blocks
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			FillPayload(buf, uint64(i), 1, uint64(i))
+			errs[i] = st.Write(uint64(i), buf)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	stats := st.Stats()
+	sh := stats.Shards[0]
+	if sh.RealAccesses > 3 {
+		t.Errorf("%d distinct blocks cost %d real slots, want ≤ 3 with k=4", n, sh.RealAccesses)
+	}
+	if sh.BatchFetched < n {
+		t.Errorf("BatchFetched = %d, want ≥ %d", sh.BatchFetched, n)
+	}
+	if sh.ForcedEvictions != 0 {
+		t.Errorf("ForcedEvictions = %d under a light load, want 0", sh.ForcedEvictions)
 	}
 }
 
@@ -781,7 +950,25 @@ func TestServerDynamicScheduleLeakageBounded(t *testing.T) {
 // schedule reconstruction, and the information the adversary recovers must
 // equal — exactly, not approximately — the leaked_bits the service reports.
 // Until now this validation existed only for the simulator.
+//
+// The batched subtest proves the multi-path backend's k and K introduce no
+// new accounting terms: they reshape what happens inside a slot, not when
+// slots happen, so the reconstruction from the same public rate-change
+// history still matches the reported leakage exactly.
 func TestAdversaryReplayOfLiveRun(t *testing.T) {
+	t.Run("flat", func(t *testing.T) {
+		adversaryReplayOfLiveRun(t, func(*Config) {})
+	})
+	t.Run("batched", func(t *testing.T) {
+		adversaryReplayOfLiveRun(t, func(cfg *Config) {
+			cfg.Backend = BackendBatched
+			cfg.BatchK = 4
+			cfg.EvictEvery = 4
+		})
+	})
+}
+
+func adversaryReplayOfLiveRun(t *testing.T, mutate func(*Config)) {
 	cfg := Config{
 		Shards:        2,
 		Blocks:        256,
@@ -793,6 +980,7 @@ func TestAdversaryReplayOfLiveRun(t *testing.T) {
 		EpochFirstLen: 20_000, // 20 ms, growth 2: several transitions in 400 ms
 		EpochGrowth:   2,
 	}
+	mutate(&cfg)
 	st, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

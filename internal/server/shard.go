@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tcoram/internal/core"
+	"tcoram/internal/pathoram"
 )
 
 // request is one queued Read or Write, expressed in shard-local terms.
@@ -37,21 +38,32 @@ type shard struct {
 	fifo  []*request // drained requests awaiting slots (loop-private)
 	stop  chan struct{}
 
+	// batcher is non-nil when the backend supports multi-path batch slots;
+	// the serving loop then drains up to batchK coalesced groups per slot
+	// instead of one. Same object as oram, owned by the same goroutine.
+	batcher BatchBackend
+	batchK  int
+
 	// Cross-goroutine stats.
-	reals     atomic.Uint64
-	dummies   atomic.Uint64
-	coalesced atomic.Uint64
-	depth     atomic.Int64 // submitted but not yet completed
-	stashPeak atomic.Int64
+	reals        atomic.Uint64
+	dummies      atomic.Uint64
+	coalesced    atomic.Uint64
+	batchFetched atomic.Uint64
+	forcedEvict  atomic.Uint64
+	depth        atomic.Int64 // submitted but not yet completed
+	stashPeak    atomic.Int64
 	// levelPeaks publishes the per-level stash peaks (index 0 = data ORAM;
 	// one entry for a flat backend). The slice behind the pointer is never
 	// mutated after Store, so readers may copy it lock-free.
 	levelPeaks atomic.Pointer[[]int]
 	failed     atomic.Bool // the shard's ORAM errored; it now rejects everything
 
-	// Loop-private scratch: group for coalescing, peaksScratch for reading
-	// the backend's per-level peaks without allocating every slot.
+	// Loop-private scratch: group for coalescing, batch/ops for multi-path
+	// slots, peaksScratch for reading the backend's per-level peaks without
+	// allocating every slot.
 	group        []*request
+	batch        [][]*request
+	ops          []pathoram.BatchOp
 	peaksScratch []int
 }
 
@@ -66,6 +78,10 @@ func newShard(id int, o Backend, cfg Config, stop chan struct{}) (*shard, error)
 		enf:   enf,
 		queue: make(chan *request, cfg.QueueDepth),
 		stop:  stop,
+	}
+	if bb, ok := o.(BatchBackend); ok {
+		sh.batcher = bb
+		sh.batchK = bb.BatchK()
 	}
 	sh.publishStats() // stats are well-formed before the first slot
 	return sh, nil
@@ -109,6 +125,14 @@ func (sh *shard) run() {
 				return
 			}
 			sh.dummies.Add(1)
+		} else if sh.batcher != nil {
+			arrival := sh.takeBatch(sh.batchK)
+			sh.enf.TakeSlot(arrival, true)
+			if err := sh.serveBatch(); err != nil {
+				sh.fail(err)
+				return
+			}
+			sh.reals.Add(1)
 		} else {
 			arrival := sh.takeGroup()
 			sh.enf.TakeSlot(arrival, true)
@@ -133,10 +157,18 @@ func (sh *shard) runUnpaced() {
 			sh.fifo = append(sh.fifo, req)
 			sh.fill()
 			for len(sh.fifo) > 0 {
-				sh.takeGroup()
-				if err := sh.serveGroup(); err != nil {
-					sh.fail(err)
-					return
+				if sh.batcher != nil {
+					sh.takeBatch(sh.batchK)
+					if err := sh.serveBatch(); err != nil {
+						sh.fail(err)
+						return
+					}
+				} else {
+					sh.takeGroup()
+					if err := sh.serveGroup(); err != nil {
+						sh.fail(err)
+						return
+					}
 				}
 				sh.reals.Add(1)
 			}
@@ -189,14 +221,21 @@ func (sh *shard) fill() {
 // and enqueueing) slip out of the learner's Waste and underestimate demand
 // exactly when load is high enough to coalesce.
 func (sh *shard) takeGroup() (arrival uint64) {
+	sh.group, arrival = sh.takeGroupInto(sh.group[:0])
+	return arrival
+}
+
+// takeGroupInto is takeGroup over a caller-supplied destination slice, so
+// the batch drain can collect several groups without aliasing one scratch
+// buffer. It returns the extended slice and the group's earliest arrival.
+func (sh *shard) takeGroupInto(dst []*request) ([]*request, uint64) {
 	head := sh.fifo[0]
-	sh.group = sh.group[:0]
-	sh.group = append(sh.group, head)
-	arrival = head.arrival
+	dst = append(dst, head)
+	arrival := head.arrival
 	keep := sh.fifo[:1][:0] // filter in place over the same backing array
 	for _, req := range sh.fifo[1:] {
 		if req.local == head.local {
-			sh.group = append(sh.group, req)
+			dst = append(dst, req)
 			if req.arrival < arrival {
 				arrival = req.arrival
 			}
@@ -209,8 +248,33 @@ func (sh *shard) takeGroup() (arrival uint64) {
 		sh.fifo[i] = nil
 	}
 	sh.fifo = keep
-	if n := len(sh.group) - 1; n > 0 {
+	if n := len(dst) - 1; n > 0 {
 		sh.coalesced.Add(uint64(n))
+	}
+	return dst, arrival
+}
+
+// takeBatch drains up to max coalesced distinct-block groups from the FIFO
+// into sh.batch, preserving FIFO order between groups. It returns the
+// earliest arrival across every member of every group: all the drained
+// members' wait intervals end at this same slot, so their union is exactly
+// [min arrival, slot] and reporting the minimum keeps the learner's Waste
+// input correct under batching for the same reason it is correct for a
+// single coalesced group (see takeGroupInto).
+func (sh *shard) takeBatch(max int) (arrival uint64) {
+	sh.batch = sh.batch[:0]
+	arrival = ^uint64(0)
+	for len(sh.fifo) > 0 && len(sh.batch) < max {
+		var buf []*request
+		if n := len(sh.batch); n < cap(sh.batch) {
+			// Reuse the retired group slice parked at this batch position.
+			buf = sh.batch[:n+1][n][:0]
+		}
+		g, a := sh.takeGroupInto(buf)
+		sh.batch = append(sh.batch, g)
+		if a < arrival {
+			arrival = a
+		}
 	}
 	return arrival
 }
@@ -245,6 +309,49 @@ func (sh *shard) serveGroup() error {
 	return err
 }
 
+// serveBatch applies the drained groups in one multi-path batch slot: each
+// group becomes one BatchOp whose callback applies the group's members in
+// arrival order (the serveGroup RMW semantics, preserved per block), and
+// the backend fetches each group's path plus dummy padding up to BatchK.
+// Every drained request is always completed (with the error, if any); a
+// non-nil return means the ORAM itself is broken and the shard must stop.
+func (sh *shard) serveBatch() error {
+	sh.ops = sh.ops[:0]
+	for _, g := range sh.batch {
+		group := g
+		sh.ops = append(sh.ops, pathoram.BatchOp{Addr: group[0].local, Fn: func(data []byte) {
+			for _, req := range group {
+				if req.write {
+					copy(data, req.data)
+				} else {
+					out := make([]byte, len(data))
+					copy(out, data)
+					req.out = out
+				}
+			}
+		}})
+	}
+	err := sh.batcher.AccessBatch(sh.ops)
+	for _, g := range sh.batch {
+		for i, req := range g {
+			if err != nil {
+				sh.complete(req, result{err: err})
+			} else if req.write {
+				sh.complete(req, result{})
+			} else {
+				sh.complete(req, result{data: req.out})
+			}
+			g[i] = nil // don't pin completed requests until the next drain
+		}
+	}
+	sh.batchFetched.Add(uint64(len(sh.batch)))
+	for i := range sh.ops {
+		sh.ops[i] = pathoram.BatchOp{} // release the Fn closures
+	}
+	sh.ops = sh.ops[:0]
+	return err
+}
+
 // complete delivers a result and releases the request's depth slot.
 func (sh *shard) complete(req *request, res result) {
 	req.resp <- res
@@ -274,6 +381,9 @@ func (sh *shard) drain() {
 func (sh *shard) publishStats() {
 	_, peak := sh.oram.StashOccupancy()
 	sh.stashPeak.Store(int64(peak))
+	if b, ok := sh.oram.(*pathoram.Batched); ok {
+		sh.forcedEvict.Store(b.ForcedEvictions())
+	}
 	sh.peaksScratch = sh.oram.LevelStashPeaks(sh.peaksScratch[:0])
 	if cur := sh.levelPeaks.Load(); cur == nil || !slices.Equal(*cur, sh.peaksScratch) {
 		published := slices.Clone(sh.peaksScratch)
@@ -288,13 +398,15 @@ func (sh *shard) publishStats() {
 // fired mid-slot, before the serving loop got back around.
 func (sh *shard) stats() ShardStats {
 	ss := ShardStats{
-		Shard:         sh.id,
-		Queue:         int(sh.depth.Load()),
-		RealAccesses:  sh.reals.Load(),
-		DummyAccesses: sh.dummies.Load(),
-		Coalesced:     sh.coalesced.Load(),
-		StashPeak:     int(sh.stashPeak.Load()),
-		Failed:        sh.failed.Load(),
+		Shard:           sh.id,
+		Queue:           int(sh.depth.Load()),
+		RealAccesses:    sh.reals.Load(),
+		DummyAccesses:   sh.dummies.Load(),
+		Coalesced:       sh.coalesced.Load(),
+		BatchFetched:    sh.batchFetched.Load(),
+		ForcedEvictions: sh.forcedEvict.Load(),
+		StashPeak:       int(sh.stashPeak.Load()),
+		Failed:          sh.failed.Load(),
 	}
 	if p := sh.levelPeaks.Load(); p != nil {
 		ss.StashPeaks = slices.Clone(*p)

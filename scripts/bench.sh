@@ -39,7 +39,10 @@ trap 'rm -f "$raw"' EXIT
 # BenchmarkServerThroughput fans out into per-shard-count sub-benchmarks,
 # including the recursive-backend series (recursive/shards=N,
 # recursive-unpaced, recursive-integrity-unpaced) that records the
-# flat-vs-recursive cost; BenchmarkClusterThroughput does the same one
+# flat-vs-recursive cost and the batched multi-path series
+# (batched/shards=N paced — compared raw like every slot-grid series —
+# plus batched-unpaced, calibration-normalized like the other unpaced
+# capacity runs); BenchmarkClusterThroughput does the same one
 # level up (nodes=N over loopback TCP); every sub-benchmark lands in the
 # JSON and is gated by bench_compare.sh from its first committed record
 # onward. BenchmarkCalibration is the hardware yardstick: a fixed AES-CTR
