@@ -51,6 +51,7 @@ func main() {
 		blocks     = flag.Uint64("blocks", 4096, "address space to exercise (must fit the server)")
 		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block (must match the server)")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		retries    = flag.Int("retries", 4, "attempts per operation across connection loss: a dropped daemon/proxy connection is redialed with backoff instead of failing the run")
 		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 
 		// In-process server shape (ignored with -addr).
@@ -114,7 +115,10 @@ func main() {
 		fatal(err)
 	}
 
-	statsClient, err := server.Dial(target)
+	// Every connection is a retrying client: a daemon or proxy restart under
+	// load surfaces as a redial, not a failed scenario.
+	retryCfg := server.RetryConfig{Attempts: *retries}
+	statsClient, err := server.RetryDial(target, retryCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -126,10 +130,10 @@ func main() {
 		// RunLoad never closes what dial returns; collect the per-client
 		// connections and close them after each scenario.
 		var connMu sync.Mutex
-		var conns []*server.Client
+		var conns []*server.RetryClient
 		rep, err := server.RunLoad(
 			func() (server.KV, error) {
-				c, err := server.Dial(target)
+				c, err := server.RetryDial(target, retryCfg)
 				if err != nil {
 					return nil, err
 				}

@@ -42,7 +42,7 @@ func runClusterThroughput(b *testing.B, nodes int, unpaced bool) {
 		Unpaced:     unpaced,
 	}
 	_, addrs := startNodes(b, nodes, nodeCfg)
-	r := startRouter(b, Config{Nodes: addrs})
+	r := startRouter(b, Config{Nodes: addrs, Epoch: 1})
 
 	var remaining atomic.Int64
 	remaining.Store(int64(b.N))
@@ -79,4 +79,8 @@ func runClusterThroughput(b *testing.B, nodes int, unpaced bool) {
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(b.N)/sec, "ops/s")
 	}
+	// The routing epoch the numbers were measured under rides into the
+	// bench record: a throughput comparison across PRs is only meaningful
+	// within one routing-table version.
+	b.ReportMetric(float64(r.Epoch()), "routing-epoch")
 }

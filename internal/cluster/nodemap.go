@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// NodeMap is the versioned routing topology: the ordered node list, the
+// replication factor, and an epoch number that names this exact map. The
+// address→nodes function is a pure function of the map (and the learned
+// stripe size), so pinning the map pins the routing: stats carry the epoch
+// and the map's fingerprint, operators hand the fingerprint back via
+// -map-check, and a proxy started over a drifted or reordered list fails at
+// dial instead of silently serving every address from a node holding
+// someone else's blocks.
+//
+// Placement: address a's primary is node a mod N (the modulo routing the
+// store uses for its shards, one level up), and its K-1 additional replicas
+// live on the successor nodes (p+1, …, p+K-1) mod N — the consistent
+// successor-set replication of kbfs's put-to-server path. On each node,
+// local storage is striped: replica r of the node's share lives in stripe
+// r, so a node holding M blocks serves S = M/K primaries (stripe 0) and
+// keeps stripes 1…K-1 for the shares of its K-1 predecessors. The cluster's
+// addressable space is N·S.
+type NodeMap struct {
+	// Epoch versions the map. Any membership change is a new map with a
+	// higher epoch; clients and operators compare epochs, never node lists.
+	Epoch uint64 `json:"epoch"`
+	// Nodes lists the daemon addresses in node-index order. The order is
+	// part of the routing function — Fingerprint covers it.
+	Nodes []string `json:"nodes"`
+	// Replicas is K: every block is written to K distinct nodes and read
+	// from the first healthy one. 0 defaults to 1 (no replication).
+	Replicas int `json:"replicas"`
+}
+
+// withDefaults fills the zero replication factor.
+func (m NodeMap) withDefaults() NodeMap {
+	if m.Replicas == 0 {
+		m.Replicas = 1
+	}
+	return m
+}
+
+// Validate reports whether the map is usable.
+func (m NodeMap) Validate() error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("cluster: no nodes configured")
+	}
+	seen := make(map[string]int, len(m.Nodes))
+	for i, n := range m.Nodes {
+		if n == "" {
+			return fmt.Errorf("cluster: node %d has an empty address", i)
+		}
+		if j, dup := seen[n]; dup {
+			// The same daemon listed twice would be assigned two disjoint
+			// address slices of one undersized store — reads of slice j would
+			// surface blocks written through slice i.
+			return fmt.Errorf("cluster: nodes %d and %d are the same address %q", j, i, n)
+		}
+		seen[n] = i
+	}
+	if m.Replicas < 0 {
+		return fmt.Errorf("cluster: Replicas must not be negative, got %d", m.Replicas)
+	}
+	if k := m.withDefaults().Replicas; k > len(m.Nodes) {
+		return fmt.Errorf("cluster: %d replicas need %d distinct nodes, have %d", k, k, len(m.Nodes))
+	}
+	return nil
+}
+
+// Fingerprint returns a stable hex digest of everything the routing
+// function depends on: the replication factor and the ordered node list.
+// Two maps with the same fingerprint route every address identically (at
+// equal stripe sizes), so the fingerprint is what -map-check compares and
+// what the reversed-node-order failure mode is caught by. The epoch is
+// deliberately excluded: it names a map version for humans and stats, while
+// the fingerprint names the routing behaviour.
+func (m NodeMap) Fingerprint() string {
+	m = m.withDefaults()
+	h := sha256.New()
+	fmt.Fprintf(h, "k=%d", m.Replicas)
+	for _, n := range m.Nodes {
+		// The separator keeps ["ab","c"] and ["a","bc"] distinct.
+		h.Write([]byte{0})
+		h.Write([]byte(n))
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// NodeCount returns N.
+func (m NodeMap) NodeCount() int { return len(m.Nodes) }
+
+// PrimaryOf returns the node index owning address addr's primary copy.
+func (m NodeMap) PrimaryOf(addr uint64) int {
+	return int(addr % uint64(len(m.Nodes)))
+}
+
+// ReplicaNodes appends the node indices holding addr — primary first, then
+// the successor replicas — to dst and returns it. The priority order is the
+// read order: first healthy replica serves.
+func (m NodeMap) ReplicaNodes(addr uint64, dst []int) []int {
+	m = m.withDefaults()
+	n := len(m.Nodes)
+	p := m.PrimaryOf(addr)
+	for r := 0; r < m.Replicas; r++ {
+		dst = append(dst, (p+r)%n)
+	}
+	return dst
+}
+
+// ReplicaLocal returns the node-local address of addr's replica r, given
+// the stripe size the router learned from node capacities: stripe r starts
+// at r·stripe, and within a stripe the node's share is packed by a div N,
+// exactly as in the unreplicated layout.
+func (m NodeMap) ReplicaLocal(addr uint64, r int, stripe uint64) uint64 {
+	return uint64(r)*stripe + addr/uint64(len(m.Nodes))
+}
+
+// StripeOf inverts the stripe layout for diagnostics: the (replica, share)
+// pair a node-local address belongs to.
+func StripeOf(local, stripe uint64) (replica int, share uint64) {
+	if stripe == 0 {
+		return 0, local
+	}
+	return int(local / stripe), local % stripe
+}
+
+// Blocks returns the cluster-wide addressable space at a given per-node
+// capacity: the smallest node bounds every node's stripe set, and each node
+// spends 1/K of its space on each stripe.
+func (m NodeMap) Blocks(minNodeBlocks uint64) uint64 {
+	return m.Stripe(minNodeBlocks) * uint64(len(m.Nodes))
+}
+
+// Stripe returns the per-stripe block count at a given per-node capacity.
+func (m NodeMap) Stripe(minNodeBlocks uint64) uint64 {
+	return minNodeBlocks / uint64(m.withDefaults().Replicas)
+}
+
+// Equal reports whether two maps route identically (same fingerprint) at
+// the same epoch.
+func (m NodeMap) Equal(o NodeMap) bool {
+	return m.Epoch == o.Epoch && m.withDefaults().Replicas == o.withDefaults().Replicas &&
+		strings.Join(m.Nodes, "\x00") == strings.Join(o.Nodes, "\x00")
+}
+
+// NodeOf returns the node index serving global address addr in an n-node
+// cluster — the K=1 specialization kept for the unreplicated call sites and
+// the routing-partition tests; NodeMap.PrimaryOf is the same function on a
+// versioned map.
+func NodeOf(addr uint64, n int) int {
+	return int(addr % uint64(n))
+}
+
+// LocalAddr converts a global block address to the node-local one (K=1
+// layout: stripe 0 only).
+func LocalAddr(addr uint64, n int) uint64 {
+	return addr / uint64(n)
+}
+
+// GlobalAddr inverts (NodeOf, LocalAddr): the global address of node-local
+// block local on node.
+func GlobalAddr(local uint64, node, n int) uint64 {
+	return local*uint64(n) + uint64(node)
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestNodeMapPlacement pins the replicated layout's load-bearing properties
+// across topology shapes: every (node, local) target of every (address,
+// replica) pair is unique — no two blocks, and no two replicas of one
+// block, share a storage slot — every address's K owners are K distinct
+// nodes with the primary first, and the K=1 specialization is exactly the
+// legacy NodeOf/LocalAddr layout, so unreplicated clusters route
+// identically before and after the epoch-versioned map.
+func TestNodeMapPlacement(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{
+		{1, 1}, {2, 1}, {3, 2}, {5, 2}, {5, 3}, {8, 4},
+	} {
+		m := NodeMap{Epoch: 1, Nodes: make([]string, tc.n), Replicas: tc.k}
+		for i := range m.Nodes {
+			m.Nodes[i] = string(rune('a'+i)) + ":1"
+		}
+		const minNodeBlocks = 64
+		stripe := m.Stripe(minNodeBlocks)
+		blocks := m.Blocks(minNodeBlocks)
+		if blocks != stripe*uint64(tc.n) {
+			t.Fatalf("n=%d k=%d: Blocks=%d, want stripe %d × %d nodes", tc.n, tc.k, blocks, stripe, tc.n)
+		}
+		seen := make(map[[2]uint64]string)
+		for addr := uint64(0); addr < blocks; addr++ {
+			owners := m.ReplicaNodes(addr, nil)
+			if len(owners) != tc.k {
+				t.Fatalf("n=%d k=%d: addr %d has %d owners, want %d", tc.n, tc.k, addr, len(owners), tc.k)
+			}
+			if owners[0] != m.PrimaryOf(addr) {
+				t.Fatalf("n=%d k=%d: addr %d owners start at %d, primary is %d", tc.n, tc.k, addr, owners[0], m.PrimaryOf(addr))
+			}
+			distinct := map[int]bool{}
+			for r, node := range owners {
+				if node < 0 || node >= tc.n {
+					t.Fatalf("n=%d k=%d: addr %d replica %d on node %d out of range", tc.n, tc.k, addr, r, node)
+				}
+				distinct[node] = true
+				local := m.ReplicaLocal(addr, r, stripe)
+				if local >= minNodeBlocks {
+					t.Fatalf("n=%d k=%d: addr %d replica %d local %d exceeds node capacity %d", tc.n, tc.k, addr, r, local, minNodeBlocks)
+				}
+				key := [2]uint64{uint64(node), local}
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("n=%d k=%d: node %d local %d holds both %s and addr %d replica %d", tc.n, tc.k, node, local, prev, addr, r)
+				}
+				seen[key] = fmt.Sprintf("addr %d replica %d", addr, r)
+				// The stripe layout is invertible: the slot knows which
+				// replica stripe it belongs to.
+				if rep, _ := StripeOf(local, stripe); rep != r {
+					t.Fatalf("n=%d k=%d: StripeOf(%d, %d) = replica %d, want %d", tc.n, tc.k, local, stripe, rep, r)
+				}
+			}
+			if len(distinct) != tc.k {
+				t.Fatalf("n=%d k=%d: addr %d replicas land on %d distinct nodes, want %d", tc.n, tc.k, addr, len(distinct), tc.k)
+			}
+			if tc.k == 1 {
+				if owners[0] != NodeOf(addr, tc.n) || m.ReplicaLocal(addr, 0, stripe) != LocalAddr(addr, tc.n) {
+					t.Fatalf("n=%d: K=1 map diverges from the legacy layout at addr %d", tc.n, addr)
+				}
+			}
+		}
+	}
+}
+
+// TestNodeMapFingerprint: the fingerprint is order-sensitive (a reversed
+// node list is a different routing function and must read differently),
+// replication-sensitive, separator-safe, and epoch-independent (the epoch
+// names a version, not a behaviour).
+func TestNodeMapFingerprint(t *testing.T) {
+	base := NodeMap{Epoch: 1, Nodes: []string{"a:1", "b:2"}, Replicas: 2}
+	if got := base.Fingerprint(); got != (NodeMap{Epoch: 9, Nodes: []string{"a:1", "b:2"}, Replicas: 2}).Fingerprint() {
+		t.Errorf("fingerprint %s varies with the epoch", got)
+	}
+	reversed := NodeMap{Nodes: []string{"b:2", "a:1"}, Replicas: 2}
+	if base.Fingerprint() == reversed.Fingerprint() {
+		t.Error("reversed node order keeps the same fingerprint — order is the routing function and must be covered")
+	}
+	if base.Fingerprint() == (NodeMap{Nodes: []string{"a:1", "b:2"}, Replicas: 1}).Fingerprint() {
+		t.Error("changing the replication factor keeps the same fingerprint")
+	}
+	if (NodeMap{Nodes: []string{"ab", "c"}}).Fingerprint() == (NodeMap{Nodes: []string{"a", "bc"}}).Fingerprint() {
+		t.Error("node-list concatenation is ambiguous in the fingerprint")
+	}
+	// Unreplicated maps fingerprint identically whether K is 0 (defaulted)
+	// or explicit 1 — the two spellings of the same routing function.
+	if (NodeMap{Nodes: []string{"a:1"}}).Fingerprint() != (NodeMap{Nodes: []string{"a:1"}, Replicas: 1}).Fingerprint() {
+		t.Error("defaulted and explicit K=1 fingerprint differently")
+	}
+}
+
+func TestNodeMapValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    NodeMap
+		want string // substring of the error; empty = valid
+	}{
+		{"no nodes", NodeMap{}, "no nodes"},
+		{"empty addr", NodeMap{Nodes: []string{"a:1", ""}}, "empty address"},
+		{"duplicate", NodeMap{Nodes: []string{"a:1", "a:1"}}, "same address"},
+		{"negative replicas", NodeMap{Nodes: []string{"a:1"}, Replicas: -1}, "negative"},
+		{"too many replicas", NodeMap{Nodes: []string{"a:1", "b:2"}, Replicas: 3}, "3 replicas"},
+		{"ok replicated", NodeMap{Nodes: []string{"a:1", "b:2"}, Replicas: 2}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestConfigValidateMigration covers the Config-level checks the migration
+// plane adds on top of NodeMap validation.
+func TestConfigValidateMigration(t *testing.T) {
+	good := Config{Nodes: []string{"a:1", "b:2", "c:3"}, Epoch: 2, Replicas: 2,
+		PrevNodes: []string{"a:1", "b:2"}, PrevEpoch: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid migration config rejected: %v", err)
+	}
+	stale := good
+	stale.PrevEpoch = 2
+	if err := stale.Validate(); err == nil || !strings.Contains(err.Error(), "epoch") {
+		t.Errorf("prev epoch ≥ epoch accepted: %v", err)
+	}
+	badPrev := good
+	badPrev.PrevNodes = []string{"a:1", "a:1"}
+	if err := badPrev.Validate(); err == nil || !strings.Contains(err.Error(), "previous topology") {
+		t.Errorf("duplicate prev node accepted: %v", err)
+	}
+}

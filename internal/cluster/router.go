@@ -4,182 +4,404 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tcoram/internal/server"
 )
 
+// gateCount stripes the migration gate: an RWMutex per stripe serializes a
+// client operation with a migration copy of the same address stripe, so the
+// watermark can never advance past an address mid-operation (read-old /
+// write-new races are excluded by construction). 256 stripes keep the odds
+// of an unrelated client blocking behind a copy below 0.4%.
+const gateCount = 256
+
+// topology is one routing epoch's data plane: the versioned map, the dialed
+// nodes in map order, and the learned per-stripe capacity.
+type topology struct {
+	m      NodeMap
+	nodes  []*node
+	stripe uint64
+	blocks uint64
+}
+
 // Router is the cluster's data plane: it implements server.Service by
-// consistently routing every Read/Write to the daemon owning the address
-// (NodeOf above the target store's own ShardOf) over a per-node pool of
-// pipelined connections, and by aggregating every node's stats into one
-// cluster-wide view with a single leakage budget. Because it is a
-// server.Service, the standard daemon loop (server.Serve) turns it into a
-// TCP proxy — cmd/oramproxy is nothing but that composition.
+// routing every Read/Write to the K replicas owning the address (NodeMap
+// above the target store's own ShardOf), failing over across replicas with
+// a recoverable-vs-fatal error taxonomy, and by aggregating every node's
+// stats into one cluster-wide view with a single leakage budget and the
+// routing epoch attached. Because it is a server.Service, the standard
+// daemon loop (server.Serve) turns it into a TCP proxy — cmd/oramproxy is
+// nothing but that composition.
 //
 // All methods are safe for concurrent use.
 type Router struct {
 	cfg        Config
-	pools      []*pool
-	blocks     uint64 // cluster-wide address space
+	cur        topology
+	prev       *topology // previous epoch's topology, nil unless migrating
+	target     uint64    // cluster-wide address space once fully on cur
+	served     atomic.Uint64
 	blockBytes int
 	nodeBlocks []uint64 // per-node capacity learned at dial time
-}
 
-// pool is one node's connection set. server.Client multiplexes concurrent
-// callers onto one socket by request id, so correctness needs only one
-// connection; the pool spreads JSON encode/decode and syscall work across
-// several, picked round-robin.
-type pool struct {
-	addr    string
-	clients []*server.Client
-	next    atomic.Uint64
-}
+	// Migration state. The watermark splits the shared address space
+	// [0, migrateEnd) into a migrated part served by cur and an unmigrated
+	// part served by prev: ascending scans (grow) have migrated = [0, w),
+	// descending scans (shrink) have migrated = [w, migrateEnd) — the
+	// direction is chosen so a copy's writes can only land on old-layout
+	// slots whose blocks are already migrated (see migrate.go). While
+	// migrating, only the shared space is served; the remainder of the
+	// target space opens after the copy and scrub phases complete.
+	watermark  atomic.Uint64
+	migrating  atomic.Bool
+	descending bool
+	migrateEnd uint64
+	copied     atomic.Uint64
+	gates      [gateCount]sync.RWMutex
 
-func (p *pool) pick() *server.Client {
-	return p.clients[p.next.Add(1)%uint64(len(p.clients))]
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewRouter dials every configured node, learns the cluster geometry from
-// each node's stats (block count and size), and returns a serving router.
-// It fails fast if any node is unreachable, if nodes disagree on block
-// size, or if the requested Blocks exceeds what the topology can hold.
+// each node's stats (block count and size), validates the node map's
+// fingerprint if one is expected, and returns a serving router. If a
+// previous topology is configured it also dials any retiring nodes and
+// starts the migration plane. It fails fast if any node is unreachable, if
+// nodes disagree on block size, if the requested Blocks exceeds what the
+// topology can hold, or if the map fingerprint does not match.
 func NewRouter(cfg Config) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Router{cfg: cfg}
+	m := cfg.Map()
+	if cfg.ExpectFingerprint != "" && m.Fingerprint() != cfg.ExpectFingerprint {
+		return nil, fmt.Errorf("cluster: node map fingerprint %s does not match expected %s — the node list or replication factor drifted from the map this data was written under (epoch %d)",
+			m.Fingerprint(), cfg.ExpectFingerprint, m.Epoch)
+	}
+	r := &Router{cfg: cfg, stop: make(chan struct{})}
+	r.cur.m = m
 	ok := false
 	defer func() {
 		if !ok {
 			r.Close()
 		}
 	}()
-	for i, addr := range cfg.Nodes {
-		p := &pool{addr: addr}
-		for c := 0; c < cfg.ConnsPerNode; c++ {
-			cl, err := server.Dial(addr)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
-			}
-			p.clients = append(p.clients, cl)
+
+	byAddr := make(map[string]*node, len(m.Nodes))
+	for i, addr := range m.Nodes {
+		n, err := dialNode(i, addr, cfg.ConnsPerNode)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, addr, err)
 		}
-		r.pools = append(r.pools, p)
+		r.cur.nodes = append(r.cur.nodes, n)
+		byAddr[addr] = n
 	}
 
 	// One stats round-trip per node doubles as the liveness check and
 	// teaches the router each node's capacity.
+	minBlocks, err := r.learnGeometry(r.cur.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if minBlocks < uint64(m.Replicas) {
+		return nil, fmt.Errorf("cluster: replication factor %d exceeds the smallest node's %d blocks", m.Replicas, minBlocks)
+	}
+	// Modulo routing fills nodes evenly and each node spends 1/K of its
+	// space per replica stripe, so the smallest node bounds the addressable
+	// space: every global address below N×(min/K) maps to valid stripe-local
+	// addresses on all K of its owners.
+	r.cur.stripe = m.Stripe(minBlocks)
+	r.cur.blocks = m.Blocks(minBlocks)
+	r.target = r.cur.blocks
+	if cfg.Blocks > 0 {
+		if cfg.Blocks > r.target {
+			return nil, fmt.Errorf("cluster: %d blocks requested but the %d nodes hold at most %d (smallest node: %d blocks, %d replicas)",
+				cfg.Blocks, len(r.cur.nodes), r.target, minBlocks, m.Replicas)
+		}
+		r.target = cfg.Blocks
+	}
+	r.served.Store(r.target)
+
+	if prevMap, hasPrev := cfg.PrevMap(); hasPrev {
+		if err := r.initMigration(prevMap, byAddr); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ProbeEvery > 0 {
+		r.wg.Add(1)
+		go r.prober(cfg.ProbeEvery)
+	}
+	ok = true
+	return r, nil
+}
+
+// learnGeometry polls each node's stats, enforces a uniform block size, and
+// returns the smallest node capacity.
+func (r *Router) learnGeometry(nodes []*node) (uint64, error) {
 	minBlocks := uint64(0)
-	for i, p := range r.pools {
-		st, err := p.pick().Stats()
+	for _, n := range nodes {
+		st, err := n.pick().Stats()
 		if err != nil {
-			return nil, fmt.Errorf("cluster: node %d (%s): %w", i, p.addr, err)
+			return 0, fmt.Errorf("cluster: node %d (%s): %w", n.index, n.addr, err)
 		}
 		if st.Blocks == 0 {
-			return nil, fmt.Errorf("cluster: node %d (%s) reports zero blocks", i, p.addr)
+			return 0, fmt.Errorf("cluster: node %d (%s) reports zero blocks", n.index, n.addr)
 		}
 		if r.blockBytes == 0 {
 			r.blockBytes = st.BlockBytes
 		} else if st.BlockBytes != r.blockBytes {
-			return nil, fmt.Errorf("cluster: node %d (%s) serves %d-byte blocks, node 0 serves %d",
-				i, p.addr, st.BlockBytes, r.blockBytes)
+			return 0, fmt.Errorf("cluster: node %d (%s) serves %d-byte blocks, the cluster serves %d",
+				n.index, n.addr, st.BlockBytes, r.blockBytes)
 		}
 		r.nodeBlocks = append(r.nodeBlocks, st.Blocks)
 		if minBlocks == 0 || st.Blocks < minBlocks {
 			minBlocks = st.Blocks
 		}
 	}
-	// Modulo routing fills nodes evenly, so the smallest node bounds the
-	// addressable space: every global address below N×min maps to a valid
-	// local address on its owner.
-	r.blocks = minBlocks * uint64(len(r.pools))
-	if cfg.Blocks > 0 {
-		if cfg.Blocks > r.blocks {
-			return nil, fmt.Errorf("cluster: %d blocks requested but the %d nodes hold at most %d (smallest node: %d)",
-				cfg.Blocks, len(r.pools), r.blocks, minBlocks)
-		}
-		r.blocks = cfg.Blocks
-	}
-	ok = true
-	return r, nil
+	return minBlocks, nil
 }
 
-// Blocks returns the cluster-wide address space the router serves.
-func (r *Router) Blocks() uint64 { return r.blocks }
+// Blocks returns the cluster-wide address space the router serves right
+// now. While a migration is active this is the space shared by both
+// topologies; once the copy and scrub phases finish it grows (or has
+// already shrunk) to the new topology's capacity.
+func (r *Router) Blocks() uint64 { return r.served.Load() }
 
 // BlockBytes returns the block payload size the nodes agreed on.
 func (r *Router) BlockBytes() int { return r.blockBytes }
 
-// Nodes returns the node count.
-func (r *Router) Nodes() int { return len(r.pools) }
+// Nodes returns the current topology's node count.
+func (r *Router) Nodes() int { return len(r.cur.nodes) }
 
-// route bounds-checks a global address and returns its owning pool and
-// node-local address.
-func (r *Router) route(addr uint64) (*pool, uint64, error) {
-	if addr >= r.blocks {
-		return nil, 0, fmt.Errorf("cluster: address %d out of range (%d blocks)", addr, r.blocks)
+// Epoch returns the routing epoch the router serves under.
+func (r *Router) Epoch() uint64 { return r.cur.m.Epoch }
+
+// Fingerprint returns the current node map's fingerprint — print it, keep
+// it, and hand it back via ExpectFingerprint on the next proxy start.
+func (r *Router) Fingerprint() string { return r.cur.m.Fingerprint() }
+
+// allNodes returns every live node exactly once: the current topology's,
+// plus — while a migration is active — the retiring nodes that are only in
+// the previous one.
+func (r *Router) allNodes() []*node {
+	if r.prev == nil || !r.migrating.Load() {
+		return r.cur.nodes
 	}
-	return r.pools[NodeOf(addr, len(r.pools))], LocalAddr(addr, len(r.pools)), nil
+	out := make([]*node, 0, len(r.cur.nodes)+len(r.prev.nodes))
+	out = append(out, r.cur.nodes...)
+	for _, n := range r.prev.nodes {
+		if n.index < 0 { // prev-only nodes carry negative indices
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
-// Read fetches a block from its owning node.
+// gate returns the migration stripe lock covering addr.
+func (r *Router) gate(addr uint64) *sync.RWMutex {
+	return &r.gates[addr%gateCount]
+}
+
+// topoFor resolves which epoch's topology serves addr right now: during a
+// migration, unmigrated addresses (below the watermark on descending scans,
+// at or above it on ascending ones) that the old topology can hold are
+// still owned by the previous epoch; everything else by the current one.
+func (r *Router) topoFor(addr uint64) *topology {
+	if r.migrating.Load() {
+		w := r.watermark.Load()
+		migrated := addr < w
+		if r.descending {
+			migrated = addr >= w
+		}
+		if !migrated && addr < r.prev.blocks {
+			return r.prev
+		}
+	}
+	return &r.cur
+}
+
+func (r *Router) check(addr uint64) error {
+	if served := r.served.Load(); addr >= served {
+		return fmt.Errorf("cluster: address %d out of range (%d blocks)", addr, served)
+	}
+	return nil
+}
+
+// Read fetches a block from the first healthy replica of its owning set.
 func (r *Router) Read(addr uint64) ([]byte, error) {
-	p, local, err := r.route(addr)
-	if err != nil {
+	if err := r.check(addr); err != nil {
 		return nil, err
 	}
-	return p.pick().Read(local)
+	g := r.gate(addr)
+	g.RLock()
+	defer g.RUnlock()
+	return r.readVia(r.topoFor(addr), addr)
 }
 
-// Write stores a block on its owning node.
+// Write stores a block on every replica of its owning set.
 func (r *Router) Write(addr uint64, data []byte) error {
-	p, local, err := r.route(addr)
-	if err != nil {
+	if err := r.check(addr); err != nil {
 		return err
 	}
-	return p.pick().Write(local, data)
+	g := r.gate(addr)
+	g.RLock()
+	defer g.RUnlock()
+	return r.writeVia(r.topoFor(addr), addr, data)
 }
 
-// NodeStats polls every node concurrently and returns the raw per-node
-// snapshots, indexed by node.
-func (r *Router) NodeStats() ([]server.Stats, error) {
-	out := make([]server.Stats, len(r.pools))
-	errs := make([]error, len(r.pools))
-	var wg sync.WaitGroup
-	for i, p := range r.pools {
-		wg.Add(1)
-		go func(i int, p *pool) {
-			defer wg.Done()
-			st, err := p.pick().Stats()
-			if err != nil {
-				errs[i] = fmt.Errorf("cluster: node %d (%s): %w", i, p.addr, err)
-				return
+// readVia reads addr through topology t: healthy replicas in priority order
+// first, ejected ones as a last resort, with backed-off passes over the
+// whole set while every replica is down. A fatal (application-level) error
+// returns immediately — every replica would answer the same way.
+func (r *Router) readVia(t *topology, addr uint64) ([]byte, error) {
+	reps := t.m.ReplicaNodes(addr, make([]int, 0, 4))
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.cfg.RetryBackoff.Delay(attempt - 1))
+		}
+		var tried [16]bool // replica indices attempted in pass 0
+		for pass := 0; pass < 2; pass++ {
+			for pri, ni := range reps {
+				n := t.nodes[ni]
+				if pass == 0 && !n.healthy.Load() {
+					continue // healthy replicas first
+				}
+				if pass == 1 && (pri >= len(tried) || tried[pri]) {
+					continue // already failed this pass-0 attempt
+				}
+				if pri < len(tried) {
+					tried[pri] = true
+				}
+				data, err := n.pick().Read(t.m.ReplicaLocal(addr, pri, t.stripe))
+				if err == nil {
+					n.noteSuccess()
+					if pri > 0 {
+						// Served by a successor: the primary lost this read.
+						t.nodes[reps[0]].failovers.Add(1)
+					}
+					return data, nil
+				}
+				if !server.IsRecoverable(err) {
+					return nil, err
+				}
+				n.noteFailure(err)
+				lastErr = err
 			}
-			out[i] = st
-		}(i, p)
+		}
 	}
-	wg.Wait()
+	return nil, fmt.Errorf("cluster: address %d: all %d replicas failed: %w", addr, len(reps), lastErr)
+}
+
+// writeVia writes addr through topology t, fanning out to all K replicas.
+// Every replica is attempted — including ejected ones, so a recovering node
+// diverges as little as possible — and the write succeeds if at least one
+// replica acknowledged it; replicas that missed it are counted
+// (replica_write_misses), the visible measure of how stale a rejoining node
+// is. Only when no replica acked does the router back off and retry.
+func (r *Router) writeVia(t *topology, addr uint64, data []byte) error {
+	reps := t.m.ReplicaNodes(addr, make([]int, 0, 4))
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.cfg.RetryBackoff.Delay(attempt - 1))
+		}
+		acked := 0
+		for pri, ni := range reps {
+			n := t.nodes[ni]
+			err := n.pick().Write(t.m.ReplicaLocal(addr, pri, t.stripe), data)
+			if err == nil {
+				n.noteSuccess()
+				acked++
+				continue
+			}
+			if !server.IsRecoverable(err) {
+				return err
+			}
+			n.noteFailure(err)
+			lastErr = err
+		}
+		if acked > 0 {
+			if acked < len(reps) {
+				for _, ni := range reps {
+					if !t.nodes[ni].healthy.Load() {
+						t.nodes[ni].writeMisses.Add(1)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: address %d: no replica of %d acked the write: %w", addr, len(reps), lastErr)
+}
+
+// NodeStats polls every current-topology node concurrently and returns the
+// raw per-node snapshots, indexed by node. It fails on the first
+// unreachable node; ServiceStats is the lenient aggregation that keeps
+// serving through a node loss.
+func (r *Router) NodeStats() ([]server.Stats, error) {
+	stats, errs := r.pollNodes()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	return out, nil
+	return stats, nil
+}
+
+// pollNodes fetches every current node's stats concurrently, returning the
+// snapshots and a parallel error slice.
+func (r *Router) pollNodes() ([]server.Stats, []error) {
+	out := make([]server.Stats, len(r.cur.nodes))
+	errs := make([]error, len(r.cur.nodes))
+	var wg sync.WaitGroup
+	for i, n := range r.cur.nodes {
+		wg.Add(1)
+		go func(i int, n *node) {
+			defer wg.Done()
+			st, err := n.pick().Stats()
+			if err != nil {
+				if server.IsRecoverable(err) {
+					n.noteFailure(err)
+				}
+				errs[i] = fmt.Errorf("cluster: node %d (%s): %w", n.index, n.addr, err)
+				return
+			}
+			n.noteSuccess()
+			out[i] = st
+		}(i, n)
+	}
+	wg.Wait()
+	return out, errs
 }
 
 // ServiceStats aggregates every node's snapshot into one cluster-wide
 // server.Stats: the per-shard entries of all nodes concatenated (tagged
 // with their node index, so rate_changes histories stay per-shard and
 // adversary replay works unchanged), leaked bits summed across the cluster,
-// and the single cluster-wide budget judged against that sum. Per-node
-// budgets, if any node was started with one, are deliberately not
-// surfaced: the cluster session has one timing channel and one account.
+// the single cluster-wide budget judged against that sum, and the routing
+// epoch, map fingerprint, per-node health, and migration progress attached.
+// An unreachable node contributes an empty snapshot (and shows up ejected
+// in nodes[]) instead of failing the whole poll — the stats plane must
+// survive exactly the node loss the data plane survives. Per-node budgets,
+// if any node was started with one, are deliberately not surfaced: the
+// cluster session has one timing channel and one account.
 func (r *Router) ServiceStats() (server.Stats, error) {
-	nodes, err := r.NodeStats()
-	if err != nil {
-		return server.Stats{}, err
+	stats, _ := r.pollNodes()
+	agg := Aggregate(stats, r.Blocks(), r.blockBytes, r.cfg.LeakageBudgetBits)
+	agg.RoutingEpoch = r.cur.m.Epoch
+	agg.MapFingerprint = r.cur.m.Fingerprint()
+	agg.Replicas = r.cur.m.Replicas
+	agg.MigrationActive = r.migrating.Load()
+	agg.MigrationWatermark = r.watermark.Load()
+	for _, n := range r.allNodes() {
+		agg.Nodes = append(agg.Nodes, n.status())
 	}
-	return Aggregate(nodes, r.blocks, r.blockBytes, r.cfg.LeakageBudgetBits), nil
+	return agg, nil
 }
 
 // Aggregate merges per-node stats into the cluster view. Split out of
@@ -202,20 +424,28 @@ func Aggregate(nodes []server.Stats, blocks uint64, blockBytes int, budgetBits f
 	return agg
 }
 
-// Close tears down every pooled connection. The daemons keep running —
-// their slot grids, and therefore their timing behaviour, are independent
-// of whether a proxy is attached.
+// Close stops the probe and migration loops and tears down every pooled
+// connection. The daemons keep running — their slot grids, and therefore
+// their timing behaviour, are independent of whether a proxy is attached.
 func (r *Router) Close() error {
-	var first error
-	for _, p := range r.pools {
-		if p == nil {
-			continue
-		}
-		for _, c := range p.clients {
-			if err := c.Close(); err != nil && first == nil {
-				first = err
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.wg.Wait()
+		closeNode := func(n *node) {
+			if err := n.close(); err != nil && r.closeErr == nil {
+				r.closeErr = err
 			}
 		}
-	}
-	return first
+		for _, n := range r.cur.nodes {
+			closeNode(n)
+		}
+		if r.prev != nil {
+			for _, n := range r.prev.nodes {
+				if n.index < 0 {
+					closeNode(n)
+				}
+			}
+		}
+	})
+	return r.closeErr
 }

@@ -17,6 +17,16 @@
 // rate set R: every slot performs the same k path fetches and the eviction
 // cadence is a fixed function of the slot index, so neither adds observable
 // traces and no new accounting term appears here.
+//
+// Cluster migration traffic is accounted the same way: when a routing-epoch
+// bump triggers a rebalance (internal/cluster), each migrated block is one
+// ordinary read and one ordinary write riding regular paced slots that
+// would otherwise carry dummy accesses, so a node's observable schedule is
+// identical with and without an active migration. The migration-dependent
+// observables — the epoch number, the node map, and the copy rate
+// (MigrateEvery) — are public deployment parameters like R, k and K, so
+// elasticity adds no accounting term either; the cluster's leaked_bits
+// remains the additive sum of the per-node |E|·lg|R| accounts.
 package leakage
 
 import (

@@ -145,6 +145,9 @@ func newBackends(cfg Config) ([]Backend, error) {
 			return nil, err
 		}
 		for _, b := range bats {
+			if cfg.TraceSlots {
+				b.TraceSlots = true
+			}
 			backends = append(backends, b)
 		}
 	default:

@@ -13,6 +13,17 @@ import (
 // ErrClientClosed is returned for calls on a closed (or failed) client.
 var ErrClientClosed = errors.New("server: client closed")
 
+// RemoteError is an application-level failure the daemon reported in a
+// well-formed response: the connection worked, the server answered, and the
+// answer was "no" (address out of range, oversized payload, store closed…).
+// Distinguishing it from transport failures is what the cluster's failover
+// taxonomy runs on: retrying a RemoteError on a replica would just repeat
+// the same rejection, while a transport failure says nothing about the
+// request and everything about the connection (IsRecoverable).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: remote error: " + e.Msg }
+
 // Client speaks the daemon's JSON-lines protocol over one TCP connection.
 // It is safe for concurrent use: calls from many goroutines pipeline onto
 // the single connection and are matched back by request id, so a pool of
@@ -26,9 +37,19 @@ type Client struct {
 	enc *json.Encoder
 
 	mu      sync.Mutex
-	pending map[uint64]chan Response
+	pending map[uint64]chan pendingResp
 	err     error // set once the reader exits
 	nextID  atomic.Uint64
+}
+
+// pendingResp is what the read loop delivers to a waiting caller: either the
+// server's response or the connection-level error that killed the client
+// before a response arrived. The two are kept apart so do() can surface a
+// transport failure as itself (recoverable, retry elsewhere) instead of
+// disguising it as a remote rejection.
+type pendingResp struct {
+	resp    Response
+	connErr error
 }
 
 // Dial connects to a daemon at addr ("host:port").
@@ -47,7 +68,7 @@ func NewClient(conn net.Conn) *Client {
 		conn:    conn,
 		bw:      bw,
 		enc:     json.NewEncoder(bw),
-		pending: make(map[uint64]chan Response),
+		pending: make(map[uint64]chan pendingResp),
 	}
 	go c.readLoop()
 	return c
@@ -75,7 +96,7 @@ func (c *Client) readLoop() {
 		}
 		c.mu.Unlock()
 		if ok {
-			ch <- resp
+			ch <- pendingResp{resp: resp}
 		}
 	}
 	err := parseErr
@@ -92,15 +113,18 @@ func (c *Client) readLoop() {
 	c.err = err
 	for id, ch := range c.pending {
 		delete(c.pending, id)
-		ch <- Response{ID: id, OK: false, Err: err.Error()}
+		ch <- pendingResp{connErr: err}
 	}
 	c.mu.Unlock()
 }
 
-// do sends one request and waits for its response.
+// do sends one request and waits for its response. Transport failures (the
+// connection died before or instead of answering) come back as the
+// underlying error — recoverable in the cluster taxonomy — while a
+// well-formed negative answer comes back as a *RemoteError.
 func (c *Client) do(req Request) (Response, error) {
 	req.ID = c.nextID.Add(1)
-	ch := make(chan Response, 1)
+	ch := make(chan pendingResp, 1)
 
 	c.mu.Lock()
 	if c.err != nil {
@@ -124,11 +148,14 @@ func (c *Client) do(req Request) (Response, error) {
 		return Response{}, err
 	}
 
-	resp := <-ch
-	if !resp.OK {
-		return resp, fmt.Errorf("server: remote error: %s", resp.Err)
+	pr := <-ch
+	if pr.connErr != nil {
+		return Response{}, pr.connErr
 	}
-	return resp, nil
+	if !pr.resp.OK {
+		return pr.resp, &RemoteError{Msg: pr.resp.Err}
+	}
+	return pr.resp, nil
 }
 
 // Read fetches a block.

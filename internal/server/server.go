@@ -35,6 +35,7 @@ import (
 	"tcoram/internal/core"
 	"tcoram/internal/crypt"
 	"tcoram/internal/leakage"
+	"tcoram/internal/pathoram"
 )
 
 // ErrClosed is returned for requests submitted to (or pending in) a store
@@ -77,6 +78,14 @@ type Config struct {
 	// default). A safety valve, not part of the steady-state schedule;
 	// ShardStats.ForcedEvictions counts how often it fired.
 	BatchHighWater int
+	// TraceSlots records a pathoram.SlotSig per served slot on every batched
+	// shard (Backend must be BackendBatched), retrievable with SlotTraces
+	// after Close. A test-and-audit hook: the traces are the adversary's view
+	// of each shard's storage schedule, used to verify that observable slot
+	// signatures are independent of what the slots carried (dummy vs real vs
+	// migration traffic). Off by default — tracing grows memory without
+	// bound.
+	TraceSlots bool
 	// Integrity attaches Merkle verification ([25], §4.3) to every level of
 	// every shard's untrusted storage: tampered buckets fail the next path
 	// read instead of decrypting to garbage.
@@ -221,6 +230,9 @@ func (c Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("server: unknown Backend %q (want %q, %q or %q)", c.Backend, BackendFlat, BackendRecursive, BackendBatched)
+	}
+	if c.TraceSlots && c.Backend != BackendBatched {
+		return fmt.Errorf("server: TraceSlots requires Backend %q, got %q", BackendBatched, c.Backend)
 	}
 	if c.LeakageBudgetBits < 0 {
 		return fmt.Errorf("server: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
@@ -407,6 +419,20 @@ func (s *Store) Stats() Stats {
 // snapshot cannot fail).
 func (s *Store) ServiceStats() (Stats, error) { return s.Stats(), nil }
 
+// SlotTraces returns each shard's recorded slot-signature trace, indexed by
+// shard, when the store was built with TraceSlots (nil entries otherwise).
+// Only valid after Close: the traces are owned by the shard goroutines
+// while the store is serving.
+func (s *Store) SlotTraces() [][]pathoram.SlotSig {
+	out := make([][]pathoram.SlotSig, len(s.shards))
+	for i, sh := range s.shards {
+		if b, ok := sh.oram.(*pathoram.Batched); ok {
+			out[i] = b.SlotTrace
+		}
+	}
+	return out
+}
+
 // Close stops all shard goroutines, fails any still-queued requests with
 // ErrClosed, and returns once every goroutine has exited. Close is
 // idempotent.
@@ -440,6 +466,40 @@ type Stats struct {
 	LeakedBits        float64 `json:"leaked_bits"`
 	LeakageBudgetBits float64 `json:"leakage_budget_bits,omitempty"`
 	LeakageExceeded   bool    `json:"leakage_exceeded,omitempty"`
+
+	// Cluster routing metadata, populated only when the stats were
+	// aggregated by a routing proxy (internal/cluster). RoutingEpoch and
+	// MapFingerprint identify the node map that served this session — a
+	// client that recorded them can detect a proxy restarted over a drifted
+	// topology. Replicas is the replication factor K; MigrationActive and
+	// MigrationWatermark report rebalance progress (addresses below the
+	// watermark have moved to the current epoch's topology); Nodes carries
+	// per-node health.
+	RoutingEpoch       uint64       `json:"routing_epoch,omitempty"`
+	MapFingerprint     string       `json:"map_fingerprint,omitempty"`
+	Replicas           int          `json:"replicas,omitempty"`
+	MigrationActive    bool         `json:"migration_active,omitempty"`
+	MigrationWatermark uint64       `json:"migration_watermark,omitempty"`
+	Nodes              []NodeStatus `json:"nodes,omitempty"`
+}
+
+// NodeStatus is one cluster node's health record as seen by the routing
+// proxy: whether it is currently in the serving pool, and the cumulative
+// counts of ejections (healthy→unhealthy transitions), failovers (reads this
+// node should have served as primary but a successor replica answered), and
+// replica write misses (writes acked by the cluster that this node did not
+// apply — the measure of how stale it is if it rejoins). Defined here rather
+// than in internal/cluster so it can ride inside Stats over the wire.
+type NodeStatus struct {
+	// Node is the node's index in the current map; retiring nodes of a
+	// previous topology appear with negative indices during a migration.
+	Node               int    `json:"node"`
+	Addr               string `json:"addr"`
+	Healthy            bool   `json:"healthy"`
+	Ejections          uint64 `json:"ejections,omitempty"`
+	Failovers          uint64 `json:"failovers,omitempty"`
+	ReplicaWriteMisses uint64 `json:"replica_write_misses,omitempty"`
+	LastError          string `json:"last_error,omitempty"`
 }
 
 // ShardStats is one shard's activity snapshot.

@@ -62,17 +62,19 @@ awk -v date="$stamp" -v commit="$commit" '
 BEGIN { print "[" ; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; epoch = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
         if ($(i+1) == "B/op") bytes = $i
         if ($(i+1) == "allocs/op") allocs = $i
+        if ($(i+1) == "routing-epoch") epoch = $i
     }
     if (ns == "") next
     if (n++) printf ",\n"
     printf "  {\"date\": \"%s\", \"commit\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s", date, commit, name, ns
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    if (epoch != "")  printf ", \"routing_epoch\": %s", epoch
     printf "}"
 }
 END { print "\n]" }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# check_links.sh — markdown link gate. Every intra-repo link in every
+# tracked .md file must resolve to an existing file (dead internal links
+# fail the build); external http(s) links are listed as warnings only — CI
+# must not depend on third-party uptime.
+#
+# Usage: scripts/check_links.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+external=0
+while IFS= read -r md; do
+    case "$md" in
+    # Reference corpora quoting other repositories verbatim: their relative
+    # links point into those repos, not this one.
+    SNIPPETS.md|PAPERS.md|PAPER.md|ISSUE.md) continue ;;
+    esac
+    dir="$(dirname "$md")"
+    # Inline markdown links/images: the (target) of ](target). Titles after
+    # the URL ("](file.md \"title\")") and #fragments are stripped.
+    while IFS= read -r target; do
+        target="${target%% *}"
+        case "$target" in
+        http://*|https://*)
+            echo "check_links.sh: WARN external link (not checked): $md -> $target"
+            external=$((external + 1))
+            ;;
+        mailto:*|\#*|'')
+            ;;
+        *)
+            path="${target%%#*}"
+            [ -n "$path" ] || continue
+            if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+                echo "check_links.sh: DEAD link: $md -> $target" >&2
+                fail=1
+            fi
+            ;;
+        esac
+    done < <(grep -oE '\]\([^)]+\)' "$md" | sed 's/^](//; s/)$//')
+done < <(git ls-files '*.md')
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_links.sh: FAIL — fix the dead intra-repo links above" >&2
+    exit 1
+fi
+echo "check_links.sh: all intra-repo markdown links resolve ($external external links not checked)"
