@@ -55,6 +55,11 @@ func main() {
 		growth     = flag.Uint64("growth", 4, "epoch length growth factor")
 		leakBudget = flag.Float64("leak-budget", 0, "session leakage budget in bits across all shards (0 = account only)")
 		unpaced    = flag.Bool("unpaced", false, "disable rate enforcement (no dummies; leaks timing)")
+		store      = flag.String("store", "mem", "untrusted bucket storage: mem | file (file implies -integrity)")
+		dataDir    = flag.String("data-dir", "", "file store root directory (per-shard subdirectories; required with -store file)")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "file store: sealed checkpoint every N served slots (1 = durable acks, 0 = shutdown only)")
+		cacheBkts  = flag.Int("cache-buckets", 0, "file store: bucket page cache size per level (0 = default 1024)")
+		syncPolicy = flag.String("sync", "none", "file store fsync policy: none | checkpoint | always")
 		statsVerb  = flag.Bool("stats", false, "control verb: poll the daemon at -addr for its stats snapshot, print JSON, exit")
 	)
 	flag.Parse()
@@ -90,6 +95,11 @@ func main() {
 		EpochGrowth:       *growth,
 		LeakageBudgetBits: *leakBudget,
 		Unpaced:           *unpaced,
+		Store:             *store,
+		DataDir:           *dataDir,
+		CheckpointEvery:   *ckptEvery,
+		CacheBuckets:      *cacheBkts,
+		Sync:              *syncPolicy,
 	}
 	st, err := server.New(cfg)
 	if err != nil {
@@ -109,6 +119,16 @@ func main() {
 	}
 	fmt.Printf("oramd: serving %d blocks × %d B over %d %s shards on %s — %s\n",
 		eff.Blocks, eff.BlockBytes, eff.Shards, eff.BackendLabel(), l.Addr(), mode)
+	if eff.Store == server.StoreFile {
+		recovered := 0
+		for _, ss := range st.Stats().Shards {
+			if ss.Recovery == "recovered" {
+				recovered++
+			}
+		}
+		fmt.Printf("oramd: file store in %s — %d/%d shards recovered from checkpoints (checkpoint-every %d, sync %s)\n",
+			eff.DataDir, recovered, eff.Shards, eff.CheckpointEvery, eff.Sync)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

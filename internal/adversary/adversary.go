@@ -25,7 +25,7 @@ import (
 // bucket at times t and t′ ... the adversary learns if ≥ 1 ORAM access has
 // been made").
 type Probe struct {
-	store  *pathoram.ByteStorage
+	store  pathoram.BucketStore
 	bucket uint64
 	last   []byte
 	// Detections counts probe intervals in which at least one access was

@@ -1,0 +1,37 @@
+package crypt
+
+import "fmt"
+
+// Seal and OpenSealed protect trusted-state checkpoints at rest: the blob
+// written to disk is MAC(ciphertext) ‖ ciphertext, so an offline adversary
+// who can rewrite the checkpoint file can neither read the trusted state
+// (position maps and stash contents are access-pattern secrets) nor forge
+// one that OpenSealed accepts. MAC-then-store over the ciphertext keeps
+// verification ahead of decryption: tampered bytes are rejected before any
+// decrypted data is interpreted.
+
+// Seal returns MAC(Encrypt(plaintext)) ‖ Encrypt(plaintext).
+func Seal(c *Cipher, plaintext []byte) ([]byte, error) {
+	ct, err := c.Encrypt(plaintext)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: sealing: %w", err)
+	}
+	tag, err := c.MAC(ct)
+	if err != nil {
+		return nil, fmt.Errorf("crypt: sealing: %w", err)
+	}
+	return append(tag, ct...), nil
+}
+
+// OpenSealed verifies and decrypts a Seal blob, returning ErrAuthFailed on
+// any truncation or modification.
+func OpenSealed(c *Cipher, blob []byte) ([]byte, error) {
+	if len(blob) < MACSize+NonceSize {
+		return nil, ErrAuthFailed
+	}
+	tag, ct := blob[:MACSize], blob[MACSize:]
+	if err := c.VerifyMAC(tag, ct); err != nil {
+		return nil, err
+	}
+	return c.Decrypt(ct)
+}

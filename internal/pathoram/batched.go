@@ -143,13 +143,19 @@ type Batched struct {
 
 type levelIO struct{ reads, writes uint64 }
 
-// NewBatched builds and initializes the stack.
+// NewBatched builds and initializes the stack on in-RAM storage.
 func NewBatched(cfg BatchedConfig, key crypt.Key, rng *rand.Rand) (*Batched, error) {
+	return NewBatchedOn(cfg, key, rng, nil)
+}
+
+// NewBatchedOn is NewBatched with every level's untrusted store built by
+// factory (nil means in-RAM ByteStorage everywhere).
+func NewBatchedOn(cfg BatchedConfig, key crypt.Key, rng *rand.Rand, factory StorageFactory) (*Batched, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	rec, err := NewRecursive(cfg.RecursiveConfig, key, rng)
+	rec, err := NewRecursiveOn(cfg.RecursiveConfig, key, rng, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +188,9 @@ func (b *Batched) StashOccupancy() (cur, peak int) { return b.rec.StashOccupancy
 // LevelStashPeaks appends each level's peak stash occupancy to dst; index 0
 // is the data ORAM, whose stash carries the deferred-eviction backlog.
 func (b *Batched) LevelStashPeaks(dst []int) []int { return b.rec.LevelStashPeaks(dst) }
+
+// StorageStats aggregates the untrusted-store counters across the stack.
+func (b *Batched) StorageStats() StorageStats { return b.rec.StorageStats() }
 
 // ForcedEvictions returns how many eviction passes were forced by the
 // StashHighWater guard rather than the fixed cadence.

@@ -176,7 +176,7 @@ func TestBatchedRecursiveIntegrity(t *testing.T) {
 	if err := tampered.AccessBatch([]BatchOp{{Addr: 1, Fn: func(d []byte) { d[0] = 1 }}}); err != nil {
 		t.Fatal(err)
 	}
-	buf := tampered.rec.orams[0].Storage().Bytes()
+	buf := tampered.rec.orams[0].Storage().(*ByteStorage).Bytes()
 	buf[len(buf)/2] ^= 0xFF
 	var err error
 	for i := 0; i < 64 && err == nil; i++ {
@@ -358,7 +358,7 @@ func TestBatchedDeterministic(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return append([]byte(nil), b.rec.orams[0].Storage().Bytes()...)
+		return append([]byte(nil), b.rec.orams[0].Storage().(*ByteStorage).Bytes()...)
 	}
 	if !bytes.Equal(run(), run()) {
 		t.Fatal("identical inputs produced diverging storage")

@@ -34,7 +34,7 @@ func TestEvictionDeterministicAcrossRuns(t *testing.T) {
 		return o
 	}
 	a, b := runOps(), runOps()
-	if !bytes.Equal(a.Storage().Bytes(), b.Storage().Bytes()) {
+	if !bytes.Equal(a.Storage().(*ByteStorage).Bytes(), b.Storage().(*ByteStorage).Bytes()) {
 		t.Fatal("identically seeded runs produced different untrusted memory")
 	}
 	aAddrs, bAddrs := a.stash.Addrs(), b.stash.Addrs()

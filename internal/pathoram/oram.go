@@ -43,7 +43,7 @@ type BusEvent struct {
 // storage arena, and the position map is a flat slice.
 type ORAM struct {
 	geom    Geometry
-	store   *ByteStorage
+	store   BucketStore
 	cipher  *crypt.Cipher
 	stash   *Stash
 	posmap  *positionMap
@@ -78,21 +78,16 @@ type ORAM struct {
 // remapping and must be cryptographically strong in a real deployment; a
 // seeded PRNG keeps tests and experiments deterministic.
 func NewORAM(g Geometry, key crypt.Key, rng *rand.Rand) (*ORAM, error) {
-	if err := g.Validate(); err != nil {
+	return NewORAMOn(g, key, rng, nil)
+}
+
+// NewORAMOn is NewORAM over a caller-supplied untrusted store (nil means a
+// fresh in-RAM ByteStorage). The store's prior contents are overwritten by
+// initialization; recovery from an existing store goes through RecoverORAM.
+func NewORAMOn(g Geometry, key crypt.Key, rng *rand.Rand, store BucketStore) (*ORAM, error) {
+	o, err := newORAMShell(g, key, rng, store)
+	if err != nil {
 		return nil, err
-	}
-	if rng == nil {
-		rng = rand.New(rand.NewSource(1))
-	}
-	o := &ORAM{
-		geom:    g,
-		store:   NewByteStorage(g),
-		cipher:  crypt.NewCipher(key, randReader{rng}),
-		stash:   NewStash(),
-		posmap:  newPositionMap(g.Capacity()),
-		rng:     rng,
-		ptBuf:   make([]byte, g.BucketPlainBytes()),
-		zeroBuf: make([]byte, g.BlockBytes),
 	}
 	empty := g.encodeBucket(nil)
 	for i := uint64(0); i < g.Buckets(); i++ {
@@ -101,6 +96,36 @@ func NewORAM(g Geometry, key crypt.Key, rng *rand.Rand) (*ORAM, error) {
 		}
 	}
 	return o, nil
+}
+
+// newORAMShell builds an ORAM's trusted state around a store without
+// touching the store's contents — the shared half of NewORAMOn (which then
+// initializes every bucket) and RecoverORAM (which restores state and
+// verifies the existing buckets instead).
+func newORAMShell(g Geometry, key crypt.Key, rng *rand.Rand, store BucketStore) (*ORAM, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if store == nil {
+		var err error
+		store, err = NewByteStorage(g)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &ORAM{
+		geom:    g,
+		store:   store,
+		cipher:  crypt.NewCipher(key, randReader{rng}),
+		stash:   NewStash(),
+		posmap:  newPositionMap(g.Capacity()),
+		rng:     rng,
+		ptBuf:   make([]byte, g.BucketPlainBytes()),
+		zeroBuf: make([]byte, g.BlockBytes),
+	}, nil
 }
 
 // randReader adapts a math/rand source to io.Reader for nonce generation in
@@ -138,7 +163,10 @@ func (o *ORAM) LevelStashPeaks(dst []int) []int {
 }
 
 // Storage exposes the untrusted memory (the adversary's vantage point).
-func (o *ORAM) Storage() *ByteStorage { return o.store }
+func (o *ORAM) Storage() BucketStore { return o.store }
+
+// StorageStats reports the untrusted store's cache and file-IO counters.
+func (o *ORAM) StorageStats() StorageStats { return o.store.Stats() }
 
 // StashOccupancy returns current and peak stash sizes.
 func (o *ORAM) StashOccupancy() (cur, peak int) {

@@ -379,7 +379,7 @@ func TestIntegrityDetectsTampering(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tamper with the root bucket in untrusted memory.
-	o.Storage().Bytes()[3] ^= 0x40
+	o.Storage().(*ByteStorage).Bytes()[3] ^= 0x40
 	if _, err := o.Access(OpRead, 2, nil); err == nil {
 		t.Fatal("tampered bucket passed integrity verification")
 	}

@@ -122,8 +122,15 @@ type Recursive struct {
 	DummyAccesses uint64
 }
 
-// NewRecursive builds and initializes the full stack.
+// NewRecursive builds and initializes the full stack on in-RAM storage.
 func NewRecursive(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand) (*Recursive, error) {
+	return NewRecursiveOn(cfg, key, rng, nil)
+}
+
+// NewRecursiveOn is NewRecursive with every level's untrusted store built by
+// factory (nil means in-RAM ByteStorage everywhere): level 0 is the data
+// ORAM, levels 1..Recursion the position-map ORAMs from largest to smallest.
+func NewRecursiveOn(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand, factory StorageFactory) (*Recursive, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,7 +140,11 @@ func NewRecursive(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand) (*Recursiv
 	geoms := cfg.Geometries()
 	orams := make([]*ORAM, len(geoms))
 	for i, g := range geoms {
-		o, err := NewORAM(g, key, rng)
+		store, err := newStore(factory, i, g)
+		if err != nil {
+			return nil, err
+		}
+		o, err := NewORAMOn(g, key, rng, store)
 		if err != nil {
 			return nil, err
 		}
@@ -197,6 +208,16 @@ func (r *Recursive) LevelStashPeaks(dst []int) []int {
 		dst = append(dst, p)
 	}
 	return dst
+}
+
+// StorageStats aggregates the cache and file-IO counters of every level's
+// untrusted store.
+func (r *Recursive) StorageStats() StorageStats {
+	var sum StorageStats
+	for _, o := range r.orams {
+		sum = sum.add(o.StorageStats())
+	}
+	return sum
 }
 
 // posMapLevel reads-and-remaps the label for (level, index) where level 0 is

@@ -35,6 +35,13 @@ import (
 // seed) inputs rebuild byte-identical shards, which the server's tests rely
 // on for deterministic routing checks.
 func NewShardSet(n int, g Geometry, key crypt.Key, seed int64) ([]*ORAM, error) {
+	return NewShardSetOn(n, g, key, seed, nil)
+}
+
+// NewShardSetOn is NewShardSet with each shard's untrusted store built by
+// factories(shard) — nil factories, or a nil per-shard StorageFactory,
+// means in-RAM ByteStorage.
+func NewShardSetOn(n int, g Geometry, key crypt.Key, seed int64, factories func(shard int) StorageFactory) ([]*ORAM, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("pathoram: shard count must be positive, got %d", n)
 	}
@@ -43,7 +50,15 @@ func NewShardSet(n int, g Geometry, key crypt.Key, seed int64) ([]*ORAM, error) 
 	}
 	shards := make([]*ORAM, n)
 	for i := range shards {
-		o, err := NewORAM(g, key, rand.New(rand.NewSource(shardSeed(seed, i))))
+		var factory StorageFactory
+		if factories != nil {
+			factory = factories(i)
+		}
+		store, err := newStore(factory, 0, g)
+		if err != nil {
+			return nil, fmt.Errorf("pathoram: building shard %d: %w", i, err)
+		}
+		o, err := NewORAMOn(g, key, rand.New(rand.NewSource(ShardSeed(seed, i))), store)
 		if err != nil {
 			return nil, fmt.Errorf("pathoram: building shard %d: %w", i, err)
 		}
@@ -60,6 +75,12 @@ func NewShardSet(n int, g Geometry, key crypt.Key, seed int64) ([]*ORAM, error) 
 // NewRecursive builds each level through NewORAM). Identical (cfg, key,
 // seed) inputs rebuild byte-identical shard sets.
 func NewRecursiveShardSet(n int, cfg RecursiveConfig, key crypt.Key, seed int64) ([]*Recursive, error) {
+	return NewRecursiveShardSetOn(n, cfg, key, seed, nil)
+}
+
+// NewRecursiveShardSetOn is NewRecursiveShardSet with each shard's level
+// stores built by factories(shard) (nil means in-RAM everywhere).
+func NewRecursiveShardSetOn(n int, cfg RecursiveConfig, key crypt.Key, seed int64, factories func(shard int) StorageFactory) ([]*Recursive, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("pathoram: shard count must be positive, got %d", n)
 	}
@@ -68,7 +89,11 @@ func NewRecursiveShardSet(n int, cfg RecursiveConfig, key crypt.Key, seed int64)
 	}
 	shards := make([]*Recursive, n)
 	for i := range shards {
-		r, err := NewRecursive(cfg, key, rand.New(rand.NewSource(shardSeed(seed, i))))
+		var factory StorageFactory
+		if factories != nil {
+			factory = factories(i)
+		}
+		r, err := NewRecursiveOn(cfg, key, rand.New(rand.NewSource(ShardSeed(seed, i))), factory)
 		if err != nil {
 			return nil, fmt.Errorf("pathoram: building recursive shard %d: %w", i, err)
 		}
@@ -84,6 +109,12 @@ func NewRecursiveShardSet(n int, cfg RecursiveConfig, key crypt.Key, seed int64)
 // stash backlog, tombstones, eviction counter — is all per-instance).
 // Identical (cfg, key, seed) inputs rebuild byte-identical shard sets.
 func NewBatchedShardSet(n int, cfg BatchedConfig, key crypt.Key, seed int64) ([]*Batched, error) {
+	return NewBatchedShardSetOn(n, cfg, key, seed, nil)
+}
+
+// NewBatchedShardSetOn is NewBatchedShardSet with each shard's level stores
+// built by factories(shard) (nil means in-RAM everywhere).
+func NewBatchedShardSetOn(n int, cfg BatchedConfig, key crypt.Key, seed int64, factories func(shard int) StorageFactory) ([]*Batched, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("pathoram: shard count must be positive, got %d", n)
 	}
@@ -92,7 +123,11 @@ func NewBatchedShardSet(n int, cfg BatchedConfig, key crypt.Key, seed int64) ([]
 	}
 	shards := make([]*Batched, n)
 	for i := range shards {
-		b, err := NewBatched(cfg, key, rand.New(rand.NewSource(shardSeed(seed, i))))
+		var factory StorageFactory
+		if factories != nil {
+			factory = factories(i)
+		}
+		b, err := NewBatchedOn(cfg, key, rand.New(rand.NewSource(ShardSeed(seed, i))), factory)
 		if err != nil {
 			return nil, fmt.Errorf("pathoram: building batched shard %d: %w", i, err)
 		}
@@ -101,9 +136,11 @@ func NewBatchedShardSet(n int, cfg BatchedConfig, key crypt.Key, seed int64) ([]
 	return shards, nil
 }
 
-// shardSeed derives shard i's RNG seed from the set seed via splitmix64, so
-// adjacent shard indices get decorrelated streams.
-func shardSeed(seed int64, i int) int64 {
+// ShardSeed derives shard i's RNG seed from the set seed via splitmix64, so
+// adjacent shard indices get decorrelated streams. It is exported so the
+// server's recovery path can rebuild a single shard with the same stream the
+// shard-set constructors would have used.
+func ShardSeed(seed int64, i int) int64 {
 	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB

@@ -1,0 +1,302 @@
+package pathoram
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"tcoram/internal/crypt"
+)
+
+// This file implements trusted-state capture and recovery: everything the
+// controller keeps on-chip (position maps, stash contents, tombstones,
+// Merkle roots, counters) serialized into a ShardState, and constructors
+// that rebuild a running ORAM stack from a ShardState plus the untrusted
+// bucket stores. The server seals a gob encoding of this state
+// (encrypt+MAC via internal/crypt) into its checkpoint file; the split
+// matters because the bucket files are untrusted — on recovery the store is
+// re-hashed and compared against the sealed Merkle root, and a mismatch
+// refuses service (ErrRootMismatch) rather than serving tampered data.
+
+// ErrRootMismatch is returned by the Recover constructors when the
+// untrusted store's recomputed Merkle root differs from the checkpointed
+// root — the fail-closed answer to offline tampering with the bucket file.
+var ErrRootMismatch = errors.New("pathoram: untrusted store does not match checkpointed merkle root")
+
+// StashBlockState is one stash-resident block in captured form.
+type StashBlockState struct {
+	Addr uint64
+	Leaf uint64
+	Data []byte
+}
+
+// LevelState is the captured trusted state of one ORAM tree.
+type LevelState struct {
+	// Root is the Merkle root of the untrusted bucket ciphertexts at
+	// capture time — the only binding between the sealed checkpoint and
+	// the bucket file.
+	Root [sha256.Size]byte
+	// PosDense and PosOver mirror the position map's flat and overflow
+	// regions (unknownLeaf marks never-assigned dense slots).
+	PosDense []uint64
+	PosOver  map[uint64]uint64
+	// Stash holds the stash blocks in slot order, so recovery reproduces
+	// the exact deterministic eviction behavior of the pre-crash instance.
+	Stash     []StashBlockState
+	StashPeak int
+	// Stale is the batched-mode tombstone map: bucket -> stale addresses.
+	Stale map[uint64][]uint64
+	// Counters.
+	Accesses      uint64
+	DummyAccesses uint64
+	BucketReads   uint64
+	BucketWrites  uint64
+}
+
+// BatchedState is the extra trusted state of a Batched stack.
+type BatchedState struct {
+	EvictCounter uint64
+	SinceEvict   int
+	Slots        uint64
+	EvictPasses  uint64
+	Forced       uint64
+}
+
+// ShardState is the complete captured trusted state of one shard backend:
+// one LevelState per tree (a single entry for a flat ORAM; data ORAM first
+// then position-map ORAMs for a recursive stack), the on-chip position map
+// and stack counters for recursive stacks, and batched-mode counters.
+type ShardState struct {
+	Levels []LevelState
+	// OnChip is the recursive stack's on-chip position map (nil for flat).
+	OnChip        []uint32
+	StackAccesses uint64
+	StackDummies  uint64
+	// Batch is non-nil for batched stacks.
+	Batch *BatchedState
+}
+
+// captureLevel snapshots one ORAM's trusted state. Integrity must be
+// enabled: without the Merkle tree there is no root to bind the untrusted
+// store to, and recovery could not detect tampering.
+func (o *ORAM) captureLevel() (LevelState, error) {
+	if o.integrity == nil {
+		return LevelState{}, errors.New("pathoram: cannot capture state without integrity enabled (no merkle root to checkpoint)")
+	}
+	ls := LevelState{
+		Root:          o.integrity.Root(),
+		PosDense:      slices.Clone(o.posmap.flat),
+		StashPeak:     o.stash.peak,
+		Accesses:      o.Accesses,
+		DummyAccesses: o.DummyAccesses,
+		BucketReads:   o.BucketReads,
+		BucketWrites:  o.BucketWrites,
+	}
+	if len(o.posmap.over) > 0 {
+		ls.PosOver = make(map[uint64]uint64, len(o.posmap.over))
+		for a, l := range o.posmap.over {
+			ls.PosOver[a] = l
+		}
+	}
+	for i := range o.stash.blocks {
+		b := &o.stash.blocks[i]
+		ls.Stash = append(ls.Stash, StashBlockState{Addr: b.Addr, Leaf: b.Leaf, Data: slices.Clone(b.Data)})
+	}
+	if len(o.stale) > 0 {
+		ls.Stale = make(map[uint64][]uint64, len(o.stale))
+		for bucket, set := range o.stale {
+			addrs := make([]uint64, 0, len(set))
+			for a := range set {
+				addrs = append(addrs, a)
+			}
+			slices.Sort(addrs)
+			ls.Stale[bucket] = addrs
+		}
+	}
+	return ls, nil
+}
+
+// CaptureState snapshots a flat ORAM's trusted state.
+func (o *ORAM) CaptureState() (*ShardState, error) {
+	ls, err := o.captureLevel()
+	if err != nil {
+		return nil, err
+	}
+	return &ShardState{Levels: []LevelState{ls}}, nil
+}
+
+// CaptureState snapshots a recursive stack's trusted state: every level
+// plus the on-chip position map.
+func (r *Recursive) CaptureState() (*ShardState, error) {
+	st := &ShardState{
+		OnChip:        slices.Clone(r.onChip),
+		StackAccesses: r.Accesses,
+		StackDummies:  r.DummyAccesses,
+	}
+	for i, o := range r.orams {
+		ls, err := o.captureLevel()
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", i, err)
+		}
+		st.Levels = append(st.Levels, ls)
+	}
+	return st, nil
+}
+
+// CaptureState snapshots a batched stack's trusted state: the recursive
+// capture plus the eviction-cadence counters.
+func (b *Batched) CaptureState() (*ShardState, error) {
+	st, err := b.rec.CaptureState()
+	if err != nil {
+		return nil, err
+	}
+	st.Batch = &BatchedState{
+		EvictCounter: b.evictCounter,
+		SinceEvict:   b.sinceEvict,
+		Slots:        b.slots,
+		EvictPasses:  b.evictPasses,
+		Forced:       b.forced,
+	}
+	return st, nil
+}
+
+// recoverLevel rebuilds one ORAM around an existing untrusted store: the
+// store is re-hashed into a fresh Merkle tree, the recomputed root is
+// compared against the checkpointed one (ErrRootMismatch on any
+// difference), and the trusted state is restored verbatim.
+func recoverLevel(g Geometry, key crypt.Key, rng *rand.Rand, store BucketStore, ls *LevelState) (*ORAM, error) {
+	o, err := newORAMShell(g, key, rng, store)
+	if err != nil {
+		return nil, err
+	}
+	tree := newMerkleTree(g, o.store)
+	if tree.Root() != ls.Root {
+		return nil, ErrRootMismatch
+	}
+	o.integrity = tree
+	if uint64(len(ls.PosDense)) > g.Capacity() {
+		return nil, fmt.Errorf("pathoram: checkpointed position map holds %d entries, tree capacity is %d", len(ls.PosDense), g.Capacity())
+	}
+	o.posmap.flat = slices.Clone(ls.PosDense)
+	if len(ls.PosOver) > 0 {
+		o.posmap.over = make(map[uint64]uint64, len(ls.PosOver))
+		for a, l := range ls.PosOver {
+			o.posmap.over[a] = l
+		}
+	}
+	for _, b := range ls.Stash {
+		if len(b.Data) != g.BlockBytes {
+			return nil, fmt.Errorf("pathoram: checkpointed stash block %#x is %d bytes, want %d", b.Addr, len(b.Data), g.BlockBytes)
+		}
+		o.stash.Put(Block{Addr: b.Addr, Leaf: b.Leaf, Data: b.Data})
+	}
+	if ls.StashPeak > o.stash.peak {
+		o.stash.peak = ls.StashPeak
+	}
+	if len(ls.Stale) > 0 {
+		o.stale = make(map[uint64]map[uint64]struct{}, len(ls.Stale))
+		for bucket, addrs := range ls.Stale {
+			set := make(map[uint64]struct{}, len(addrs))
+			for _, a := range addrs {
+				set[a] = struct{}{}
+			}
+			o.stale[bucket] = set
+		}
+	}
+	o.Accesses = ls.Accesses
+	o.DummyAccesses = ls.DummyAccesses
+	o.BucketReads = ls.BucketReads
+	o.BucketWrites = ls.BucketWrites
+	return o, nil
+}
+
+// RecoverORAM rebuilds a flat ORAM from a captured state and the untrusted
+// store built by factory (nil means in-RAM — only useful in tests). The
+// recovered instance has integrity enabled; EnableIntegrity must not be
+// called again.
+func RecoverORAM(g Geometry, key crypt.Key, rng *rand.Rand, factory StorageFactory, st *ShardState) (*ORAM, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(st.Levels) != 1 {
+		return nil, fmt.Errorf("pathoram: flat recovery wants 1 checkpointed level, got %d", len(st.Levels))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	store, err := newStore(factory, 0, g)
+	if err != nil {
+		return nil, err
+	}
+	return recoverLevel(g, key, rng, store, &st.Levels[0])
+}
+
+// RecoverRecursive rebuilds a recursive stack from a captured state, every
+// level's untrusted store built by factory.
+func RecoverRecursive(cfg RecursiveConfig, key crypt.Key, rng *rand.Rand, factory StorageFactory, st *ShardState) (*Recursive, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	geoms := cfg.Geometries()
+	if len(st.Levels) != len(geoms) {
+		return nil, fmt.Errorf("pathoram: recursive recovery wants %d checkpointed levels, got %d", len(geoms), len(st.Levels))
+	}
+	if uint64(len(st.OnChip)) != cfg.OnChipPosMapEntries() {
+		return nil, fmt.Errorf("pathoram: checkpointed on-chip map holds %d entries, want %d", len(st.OnChip), cfg.OnChipPosMapEntries())
+	}
+	orams := make([]*ORAM, len(geoms))
+	for i, g := range geoms {
+		store, err := newStore(factory, i, g)
+		if err != nil {
+			return nil, err
+		}
+		o, err := recoverLevel(g, key, rng, store, &st.Levels[i])
+		if err != nil {
+			return nil, fmt.Errorf("level %d: %w", i, err)
+		}
+		orams[i] = o
+	}
+	return &Recursive{
+		cfg:           cfg,
+		orams:         orams,
+		onChip:        slices.Clone(st.OnChip),
+		rng:           rng,
+		readBuf:       make([]byte, cfg.DataBlockBytes),
+		Accesses:      st.StackAccesses,
+		DummyAccesses: st.StackDummies,
+	}, nil
+}
+
+// RecoverBatched rebuilds a batched stack from a captured state.
+func RecoverBatched(cfg BatchedConfig, key crypt.Key, rng *rand.Rand, factory StorageFactory, st *ShardState) (*Batched, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if st.Batch == nil {
+		return nil, errors.New("pathoram: checkpoint carries no batched-mode state")
+	}
+	rec, err := RecoverRecursive(cfg.RecursiveConfig, key, rng, factory, st)
+	if err != nil {
+		return nil, err
+	}
+	data := rec.orams[0]
+	if data.stale == nil {
+		data.stale = make(map[uint64]map[uint64]struct{})
+	}
+	return &Batched{
+		cfg:          cfg,
+		rec:          rec,
+		data:         data,
+		evictCounter: st.Batch.EvictCounter,
+		sinceEvict:   st.Batch.SinceEvict,
+		slots:        st.Batch.Slots,
+		evictPasses:  st.Batch.EvictPasses,
+		forced:       st.Batch.Forced,
+	}, nil
+}

@@ -119,14 +119,61 @@ func (c Config) BackendLabel() string {
 // must address at least the shard's ceil(Blocks/Shards) share at the
 // configured block size — checked here so a mis-wired backend fails
 // construction instead of panicking mid-serve.
-func newBackends(cfg Config) ([]Backend, error) {
+//
+// For Store == StoreFile each shard is built (or recovered) individually
+// over its own data-dir subdirectory, and the returned persisters slice
+// carries one checkpoint engine per shard; for the RAM store it is nil.
+func newBackends(cfg Config) ([]Backend, []*persister, error) {
+	perShard := (cfg.Blocks + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
+	checkShare := func(backends []Backend) error {
+		for i, b := range backends {
+			// Blocks is the addressable count; a flat tree's capacity may
+			// exceed the requested share (power-of-two sizing slack), but
+			// never undershoot it.
+			if b.Blocks() < perShard || b.BlockBytes() != cfg.BlockBytes {
+				return fmt.Errorf("server: shard %d backend addresses %d×%d B, need ≥ %d×%d B",
+					i, b.Blocks(), b.BlockBytes(), perShard, cfg.BlockBytes)
+			}
+		}
+		return nil
+	}
+
+	if cfg.Store == StoreFile {
+		backends := make([]Backend, 0, cfg.Shards)
+		persisters := make([]*persister, 0, cfg.Shards)
+		fail := func(err error) ([]Backend, []*persister, error) {
+			for _, p := range persisters {
+				p.closeStores()
+			}
+			return nil, nil, err
+		}
+		for i := 0; i < cfg.Shards; i++ {
+			b, p, err := newFileShard(cfg, i)
+			if err != nil {
+				return fail(err)
+			}
+			if bat, ok := b.(*pathoram.Batched); ok && cfg.TraceSlots {
+				bat.TraceSlots = true
+			}
+			backends = append(backends, b)
+			persisters = append(persisters, p)
+		}
+		// File-backed shards enable integrity during initialization (fresh)
+		// or inherit it from recovery; the Merkle roots are what checkpoints
+		// bind the untrusted files to, so there is no integrity-off mode.
+		if err := checkShare(backends); err != nil {
+			return fail(err)
+		}
+		return backends, persisters, nil
+	}
+
 	backends := make([]Backend, 0, cfg.Shards)
 	switch cfg.Backend {
 	case BackendFlat:
 		geom := pathoram.ShardGeometry(cfg.Blocks, cfg.Shards, cfg.Z, cfg.BlockBytes)
 		orams, err := pathoram.NewShardSet(cfg.Shards, geom, cfg.Key, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, o := range orams {
 			backends = append(backends, o)
@@ -134,7 +181,7 @@ func newBackends(cfg Config) ([]Backend, error) {
 	case BackendRecursive:
 		recs, err := pathoram.NewRecursiveShardSet(cfg.Shards, recursiveShardConfig(cfg), cfg.Key, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, r := range recs {
 			backends = append(backends, r)
@@ -142,7 +189,7 @@ func newBackends(cfg Config) ([]Backend, error) {
 	case BackendBatched:
 		bats, err := pathoram.NewBatchedShardSet(cfg.Shards, batchedShardConfig(cfg), cfg.Key, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, b := range bats {
 			if cfg.TraceSlots {
@@ -151,22 +198,15 @@ func newBackends(cfg Config) ([]Backend, error) {
 			backends = append(backends, b)
 		}
 	default:
-		return nil, fmt.Errorf("server: unknown Backend %q (want %q, %q or %q)", cfg.Backend, BackendFlat, BackendRecursive, BackendBatched)
+		return nil, nil, fmt.Errorf("server: unknown Backend %q (want %q, %q or %q)", cfg.Backend, BackendFlat, BackendRecursive, BackendBatched)
 	}
-	perShard := (cfg.Blocks + uint64(cfg.Shards) - 1) / uint64(cfg.Shards)
-	for i, b := range backends {
-		// Blocks is the addressable count; a flat tree's capacity may exceed
-		// the requested share (power-of-two sizing slack), but never
-		// undershoot it.
-		if b.Blocks() < perShard || b.BlockBytes() != cfg.BlockBytes {
-			return nil, fmt.Errorf("server: shard %d backend addresses %d×%d B, need ≥ %d×%d B",
-				i, b.Blocks(), b.BlockBytes(), perShard, cfg.BlockBytes)
-		}
+	if err := checkShare(backends); err != nil {
+		return nil, nil, err
 	}
 	if cfg.Integrity {
 		for _, b := range backends {
 			b.EnableIntegrity()
 		}
 	}
-	return backends, nil
+	return backends, nil, nil
 }

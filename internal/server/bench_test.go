@@ -88,6 +88,32 @@ func BenchmarkServerThroughput(b *testing.B) {
 			cfg.Unpaced = true
 		})
 	})
+	// The durable storage tier: same grid as the flat paced series but the
+	// buckets live in files with a periodic sealed-checkpoint cadence
+	// (forced integrity included), so the paced series shows whether the
+	// slot grid absorbs the storage tier and the unpaced series measures
+	// the raw mem-vs-file capacity cost (page cache + checkpoint + seal).
+	// bench_compare.sh records the store kind per series and refuses
+	// mem-vs-file comparisons, so these never gate against the RAM series.
+	fileStore := func(dir string) func(*Config) {
+		return func(cfg *Config) {
+			cfg.Store = StoreFile
+			cfg.DataDir = dir
+			cfg.CheckpointEvery = 16
+			cfg.CacheBuckets = 256
+		}
+	}
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("file/shards=%d", n), func(b *testing.B) {
+			runThroughput(b, n, fileStore(b.TempDir()))
+		})
+	}
+	b.Run("file-unpaced/shards=4", func(b *testing.B) {
+		runThroughput(b, 4, func(cfg *Config) {
+			fileStore(b.TempDir())(cfg)
+			cfg.Unpaced = true
+		})
+	})
 }
 
 func runThroughput(b *testing.B, shards int, mutate func(*Config)) {

@@ -1,0 +1,439 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"os"
+	"path/filepath"
+
+	"tcoram/internal/crypt"
+	"tcoram/internal/pathoram"
+)
+
+// This file implements the durable storage tier's trust split. A file-backed
+// shard persists two different kinds of state:
+//
+//   - the bucket files (level-N.oram), which are UNTRUSTED exactly like the
+//     DRAM they replace: ciphertexts an offline adversary may read and
+//     rewrite at will;
+//   - a sealed checkpoint (checkpoint.bin) of the TRUSTED controller state —
+//     position maps, stash contents, tombstones, counters — plus the Merkle
+//     roots binding it to the bucket files, encrypted and MAC'd under the
+//     session key (crypt.Seal).
+//
+// Crash consistency uses redo-in-checkpoint: between checkpoints every dirty
+// bucket page is pinned in the cache (FileStorage.RetainDirty), so the
+// bucket files never change behind the checkpoint's back. A checkpoint then
+// (1) captures trusted state and the dirty pages as redo records, (2) seals
+// and atomically renames the blob into place, (3) flushes the dirty pages.
+// A crash at any point leaves the newest complete checkpoint plus a bucket
+// file the checkpoint's redo replays into exactly the state its Merkle
+// roots certify — replay is idempotent, so a torn flush repairs cleanly.
+// Recovery therefore: open + authenticate the checkpoint (tampering fails
+// closed with crypt.ErrAuthFailed), replay redo, re-hash the bucket files
+// and compare against the sealed roots (tampering fails closed with
+// pathoram.ErrRootMismatch), and rebuild the backend.
+
+const (
+	checkpointFile = "checkpoint.bin"
+	checkpointTemp = "checkpoint.tmp"
+	// initMarker exists while a shard directory is being freshly
+	// initialized: present on boot, the half-written bucket files are
+	// discarded and initialization restarts. Bucket files WITHOUT a
+	// checkpoint and without the marker mean an operator pointed the
+	// daemon at a directory whose checkpoint was deleted — refuse, fail
+	// closed, rather than silently reinitializing over data.
+	initMarker = "INITIALIZING"
+)
+
+// ErrNoCheckpoint is returned when a shard directory holds bucket files but
+// no checkpoint and no initialization marker — recovery is impossible and
+// reinitialization would destroy data, so boot refuses.
+var ErrNoCheckpoint = errors.New("server: bucket files present without a checkpoint; refusing to reinitialize")
+
+// persistedState is the gob payload sealed into a checkpoint.
+type persistedState struct {
+	// Backend guards against restarting a data dir under a different
+	// backend kind (the trusted state would not fit the new stack).
+	Backend string
+	// Restarts counts recoveries; it salts the recovered RNG stream so a
+	// restarted shard does not replay the leaf sequence the pre-crash
+	// instance already consumed after the checkpoint.
+	Restarts uint64
+	// State is the captured trusted state, including per-level Merkle
+	// roots.
+	State *pathoram.ShardState
+	// Redo carries every bucket dirty in cache at capture time: ciphertext
+	// writes the bucket file had not absorbed yet. Replayed idempotently
+	// on recovery before root verification.
+	Redo []redoLevel
+}
+
+type redoLevel struct {
+	Level   int
+	Buckets []redoBucket
+}
+
+type redoBucket struct {
+	Idx        uint64
+	Ciphertext []byte
+}
+
+// persister owns one file-backed shard's durable state: the per-level
+// FileStorages and the checkpoint protocol. After construction it is owned
+// by the shard's serving goroutine (the sealing Cipher is not
+// concurrency-safe, mirroring the per-shard ORAM ciphers).
+type persister struct {
+	dir       string
+	shard     int
+	backend   string
+	cipher    *crypt.Cipher
+	stores    []*pathoram.FileStorage // by level
+	restarts  uint64
+	ckpts     uint64
+	recovered bool
+	sync      pathoram.SyncPolicy
+}
+
+// shardDir returns the per-shard subdirectory of the data dir.
+func shardDir(dataDir string, shard int) string {
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%04d", shard))
+}
+
+// levelPath returns the bucket file path for one level of a shard's stack.
+func levelPath(dir string, level int) string {
+	return filepath.Join(dir, fmt.Sprintf("level-%d.oram", level))
+}
+
+// levelGeometries returns the tree shapes of one shard's stack for the
+// configured backend: a single geometry for flat, data-then-posmap
+// geometries for recursive and batched.
+func levelGeometries(cfg Config) []pathoram.Geometry {
+	switch cfg.Backend {
+	case BackendRecursive:
+		return recursiveShardConfig(cfg).Geometries()
+	case BackendBatched:
+		return batchedShardConfig(cfg).RecursiveConfig.Geometries()
+	default:
+		return []pathoram.Geometry{pathoram.ShardGeometry(cfg.Blocks, cfg.Shards, cfg.Z, cfg.BlockBytes)}
+	}
+}
+
+// captureState snapshots a backend's trusted state (all concrete backends
+// support capture; the interface stays narrow because only the persister
+// needs this).
+func captureState(b Backend) (*pathoram.ShardState, error) {
+	switch o := b.(type) {
+	case *pathoram.ORAM:
+		return o.CaptureState()
+	case *pathoram.Recursive:
+		return o.CaptureState()
+	case *pathoram.Batched:
+		return o.CaptureState()
+	}
+	return nil, fmt.Errorf("server: backend %T cannot capture state", b)
+}
+
+// newFileShard builds (or recovers) one file-backed shard: the backend plus
+// the persister that will checkpoint it. Boot outcomes:
+//
+//   - checkpoint present           -> recover (fail closed on tampering);
+//   - no checkpoint, marker or
+//     empty/absent directory       -> fresh initialization;
+//   - bucket files, no checkpoint,
+//     no marker                    -> ErrNoCheckpoint (fail closed).
+func newFileShard(cfg Config, shard int) (Backend, *persister, error) {
+	dir := shardDir(cfg.DataDir, shard)
+	sync, err := pathoram.ParseSyncPolicy(cfg.Sync)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &persister{
+		dir:     dir,
+		shard:   shard,
+		backend: cfg.Backend,
+		cipher:  crypt.NewCipher(cfg.Key, nil),
+		sync:    sync,
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err == nil {
+		b, err := p.recover(cfg, sync)
+		if err != nil {
+			p.closeStores()
+			return nil, nil, fmt.Errorf("server: shard %d: %w", shard, err)
+		}
+		return b, p, nil
+	}
+	if _, err := os.Stat(filepath.Join(dir, initMarker)); err != nil {
+		// No checkpoint and no marker: only an empty (or absent) directory
+		// may be initialized.
+		if ents, err := os.ReadDir(dir); err == nil && len(ents) > 0 {
+			return nil, nil, fmt.Errorf("server: shard %d: %w (%s)", shard, ErrNoCheckpoint, dir)
+		}
+	}
+	b, err := p.initialize(cfg, sync)
+	if err != nil {
+		p.closeStores()
+		return nil, nil, fmt.Errorf("server: shard %d: %w", shard, err)
+	}
+	return b, p, nil
+}
+
+// storeConfig builds the FileStorage config for one level.
+func storeConfig(cfg Config, dir string, level int, sync pathoram.SyncPolicy) pathoram.FileStorageConfig {
+	return pathoram.FileStorageConfig{
+		Path:         levelPath(dir, level),
+		CacheBuckets: cfg.CacheBuckets,
+		Sync:         sync,
+	}
+}
+
+// initialize creates the shard directory under the crash-safe marker
+// protocol, builds a fresh backend on new bucket files, and writes the
+// initial checkpoint before removing the marker.
+func (p *persister) initialize(cfg Config, sync pathoram.SyncPolicy) (Backend, error) {
+	if err := os.MkdirAll(p.dir, 0o700); err != nil {
+		return nil, err
+	}
+	marker := filepath.Join(p.dir, initMarker)
+	if err := os.WriteFile(marker, []byte("initializing\n"), 0o600); err != nil {
+		return nil, err
+	}
+	os.Remove(filepath.Join(p.dir, checkpointTemp))
+	factory := func(level int, g pathoram.Geometry) (pathoram.BucketStore, error) {
+		fs, err := pathoram.CreateFileStorage(g, storeConfig(cfg, p.dir, level, sync))
+		if err != nil {
+			return nil, err
+		}
+		p.stores = append(p.stores, fs)
+		return fs, nil
+	}
+	rng := shardRNG(cfg.Seed, p.shard, 0)
+	var b Backend
+	var err error
+	switch cfg.Backend {
+	case BackendRecursive:
+		b, err = pathoram.NewRecursiveOn(recursiveShardConfig(cfg), cfg.Key, rng, factory)
+	case BackendBatched:
+		b, err = pathoram.NewBatchedOn(batchedShardConfig(cfg), cfg.Key, rng, factory)
+	default:
+		g := levelGeometries(cfg)[0]
+		store, ferr := factory(0, g)
+		if ferr != nil {
+			return nil, ferr
+		}
+		b, err = pathoram.NewORAMOn(g, cfg.Key, rng, store)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The Merkle tree is mandatory for file-backed shards: its roots are
+	// what every checkpoint binds the untrusted files to.
+	b.EnableIntegrity()
+	// Settle the freshly initialized tree into the files, then cut the
+	// first checkpoint (empty redo) and arm dirty-page pinning.
+	for _, fs := range p.stores {
+		if err := fs.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.checkpoint(b); err != nil {
+		return nil, err
+	}
+	if err := os.Remove(marker); err != nil {
+		return nil, err
+	}
+	p.armRetention(cfg)
+	return b, nil
+}
+
+// recover rebuilds the shard from its checkpoint: authenticate and unseal,
+// replay redo into the bucket files, re-verify against the sealed Merkle
+// roots, restore trusted state.
+func (p *persister) recover(cfg Config, sync pathoram.SyncPolicy) (Backend, error) {
+	blob, err := os.ReadFile(filepath.Join(p.dir, checkpointFile))
+	if err != nil {
+		return nil, err
+	}
+	plain, err := crypt.OpenSealed(p.cipher, blob)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint failed authentication (tampered, truncated or wrong key): %w", err)
+	}
+	var ps persistedState
+	if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&ps); err != nil {
+		return nil, fmt.Errorf("decoding checkpoint: %w", err)
+	}
+	if ps.Backend != cfg.Backend {
+		return nil, fmt.Errorf("checkpoint was written by backend %q, daemon configured for %q", ps.Backend, cfg.Backend)
+	}
+	geoms := levelGeometries(cfg)
+	p.stores = make([]*pathoram.FileStorage, len(geoms))
+	for i, g := range geoms {
+		fs, err := pathoram.OpenFileStorage(g, storeConfig(cfg, p.dir, i, sync))
+		if err != nil {
+			return nil, err
+		}
+		p.stores[i] = fs
+	}
+	// Redo replay: writes the checkpoint captured that may not have
+	// reached the files. Idempotent, so a torn post-checkpoint flush (or a
+	// replayed replay after a crash during recovery) converges to the same
+	// bytes the sealed roots certify.
+	for _, rl := range ps.Redo {
+		if rl.Level < 0 || rl.Level >= len(p.stores) {
+			return nil, fmt.Errorf("checkpoint redo names level %d of %d", rl.Level, len(p.stores))
+		}
+		for _, rb := range rl.Buckets {
+			p.stores[rl.Level].WriteBucket(rb.Idx, rb.Ciphertext)
+		}
+	}
+	for _, fs := range p.stores {
+		if err := fs.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	p.restarts = ps.Restarts + 1
+	factory := func(level int, g pathoram.Geometry) (pathoram.BucketStore, error) {
+		return p.stores[level], nil
+	}
+	rng := shardRNG(cfg.Seed, p.shard, p.restarts)
+	var b Backend
+	switch cfg.Backend {
+	case BackendRecursive:
+		b, err = pathoram.RecoverRecursive(recursiveShardConfig(cfg), cfg.Key, rng, factory, ps.State)
+	case BackendBatched:
+		b, err = pathoram.RecoverBatched(batchedShardConfig(cfg), cfg.Key, rng, factory, ps.State)
+	default:
+		b, err = pathoram.RecoverORAM(geoms[0], cfg.Key, rng, factory, ps.State)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// A stale marker can survive a crash between checkpoint rename and
+	// marker removal during initialization; the checkpoint won.
+	os.Remove(filepath.Join(p.dir, initMarker))
+	p.recovered = true
+	p.armRetention(cfg)
+	return b, nil
+}
+
+// armRetention pins dirty pages between checkpoints when a checkpoint
+// cadence is configured. Without one (CheckpointEvery == 0) the cache may
+// spill dirty pages to the files mid-run; a crash then fails closed at next
+// boot (root mismatch) and only a clean shutdown is recoverable.
+func (p *persister) armRetention(cfg Config) {
+	if cfg.CheckpointEvery > 0 {
+		for _, fs := range p.stores {
+			fs.RetainDirty(true)
+		}
+	}
+}
+
+// checkpoint captures the backend's trusted state and the dirty redo set,
+// seals the blob, renames it into place, then flushes the dirty pages.
+func (p *persister) checkpoint(b Backend) error {
+	st, err := captureState(b)
+	if err != nil {
+		return err
+	}
+	ps := persistedState{Backend: p.backend, Restarts: p.restarts, State: st}
+	for i, fs := range p.stores {
+		if fs.DirtyCount() == 0 {
+			continue
+		}
+		rl := redoLevel{Level: i, Buckets: make([]redoBucket, 0, fs.DirtyCount())}
+		fs.DirtyBuckets(func(idx uint64, ct []byte) {
+			rl.Buckets = append(rl.Buckets, redoBucket{Idx: idx, Ciphertext: append([]byte(nil), ct...)})
+		})
+		ps.Redo = append(ps.Redo, rl)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&ps); err != nil {
+		return err
+	}
+	blob, err := crypt.Seal(p.cipher, buf.Bytes())
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(p.dir, checkpointTemp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return err
+	}
+	if p.sync != pathoram.SyncNone {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(p.dir, checkpointFile)); err != nil {
+		return err
+	}
+	if p.sync != pathoram.SyncNone {
+		if d, err := os.Open(p.dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	// The checkpoint is durable; now the buffered bucket writes may reach
+	// the untrusted files (a torn flush is repaired by the redo above).
+	for _, fs := range p.stores {
+		if err := fs.Flush(); err != nil {
+			return err
+		}
+	}
+	p.ckpts++
+	return nil
+}
+
+// shutdown writes the final checkpoint and releases the file handles; the
+// resulting directory recovers with zero loss.
+func (p *persister) shutdown(b Backend) error {
+	err := p.checkpoint(b)
+	p.closeStores()
+	return err
+}
+
+func (p *persister) closeStores() {
+	for _, fs := range p.stores {
+		if fs != nil {
+			fs.Close()
+		}
+	}
+}
+
+// storageStats sums the per-level store counters.
+func (p *persister) storageStats() pathoram.StorageStats {
+	var sum pathoram.StorageStats
+	for _, fs := range p.stores {
+		s := fs.Stats()
+		sum.CacheHits += s.CacheHits
+		sum.CacheMisses += s.CacheMisses
+		sum.FileReads += s.FileReads
+		sum.FileWrites += s.FileWrites
+	}
+	return sum
+}
+
+// shardRNG derives a shard's RNG stream: the same splitmix64 stream the
+// shard-set constructors use, salted by the restart count so a recovered
+// shard draws fresh leaves instead of replaying the sequence the pre-crash
+// instance already consumed after its last checkpoint (the RNG itself is
+// deliberately not checkpointed; a production deployment would use a
+// hardware RNG with no replayable state at all).
+func shardRNG(seed int64, shard int, restarts uint64) *mrand.Rand {
+	s := pathoram.ShardSeed(seed, shard)
+	if restarts > 0 {
+		s = pathoram.ShardSeed(s, int(restarts))
+	}
+	return mrand.New(mrand.NewSource(s))
+}

@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tcoram/internal/crypt"
+	"tcoram/internal/pathoram"
+)
+
+// fileStoreCfg is a small Unpaced file-backed config: Unpaced keeps the
+// workload deterministic (no wall-clock dummy slots), which the equivalence
+// and round-trip assertions rely on.
+func fileStoreCfg(dir, backend string) Config {
+	cfg := Config{
+		Shards:          2,
+		Blocks:          256,
+		BlockBytes:      32,
+		Backend:         backend,
+		Store:           StoreFile,
+		DataDir:         dir,
+		CheckpointEvery: 1,
+		QueueDepth:      16,
+		Unpaced:         true,
+		Key:             crypt.Key{42},
+	}
+	if backend != BackendFlat {
+		cfg.Recursion = 1
+	}
+	return cfg
+}
+
+// TestFileStoreRoundTrip is the clean-shutdown durability loop for every
+// backend kind: write, close, reopen (recovered), verify, write a second
+// generation, close, reopen, verify both generations.
+func TestFileStoreRoundTrip(t *testing.T) {
+	for _, backend := range []string{BackendFlat, BackendRecursive, BackendBatched} {
+		t.Run(backend, func(t *testing.T) {
+			cfg := fileStoreCfg(t.TempDir(), backend)
+			st, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ss := range st.Stats().Shards {
+				if ss.Recovery != "fresh" {
+					t.Errorf("shard %d boot outcome %q, want fresh", ss.Shard, ss.Recovery)
+				}
+			}
+			payload := func(gen int, addr uint64) []byte {
+				return []byte(fmt.Sprintf("g%d-a%d", gen, addr))
+			}
+			for addr := uint64(0); addr < 64; addr++ {
+				if err := st.Write(addr, payload(1, addr)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, err := New(cfg)
+			if err != nil {
+				t.Fatalf("reopening data dir: %v", err)
+			}
+			stats := st2.Stats()
+			for _, ss := range stats.Shards {
+				if ss.Recovery != "recovered" {
+					t.Errorf("shard %d reboot outcome %q, want recovered", ss.Shard, ss.Recovery)
+				}
+			}
+			for addr := uint64(0); addr < 64; addr++ {
+				got, err := st2.Read(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.HasPrefix(got, payload(1, addr)) {
+					t.Fatalf("addr %d reads %q after recovery, want prefix %q", addr, got, payload(1, addr))
+				}
+			}
+			for addr := uint64(32); addr < 96; addr++ {
+				if err := st2.Write(addr, payload(2, addr)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st3, err := New(cfg)
+			if err != nil {
+				t.Fatalf("third boot: %v", err)
+			}
+			defer st3.Close()
+			for addr := uint64(0); addr < 96; addr++ {
+				want := payload(1, addr)
+				if addr >= 32 {
+					want = payload(2, addr)
+				}
+				got, err := st3.Read(addr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.HasPrefix(got, want) {
+					t.Fatalf("addr %d reads %q across two generations, want prefix %q", addr, got, want)
+				}
+			}
+		})
+	}
+}
+
+// flipByte XORs one mid-file byte and returns an undo function.
+func flipByte(t *testing.T, path string, off int64) func() {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off = int64(len(raw)) / 2
+	}
+	tampered := append([]byte(nil), raw...)
+	tampered[off] ^= 0x01
+	if err := os.WriteFile(path, tampered, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return func() {
+		if err := os.WriteFile(path, raw, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFileStoreTamperFailsClosed pins the two distinct fail-closed paths:
+// a flipped bucket-file byte is caught by Merkle-root verification
+// (pathoram.ErrRootMismatch), a flipped checkpoint byte by the seal's MAC
+// (crypt.ErrAuthFailed), and a deleted checkpoint refuses reinitialization
+// (ErrNoCheckpoint).
+func TestFileStoreTamperFailsClosed(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fileStoreCfg(dir, BackendFlat)
+	cfg.Shards = 1
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 32; addr++ {
+		if err := st.Write(addr, []byte{byte(addr)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bucketFile := filepath.Join(dir, "shard-0000", "level-0.oram")
+	ckptFile := filepath.Join(dir, "shard-0000", "checkpoint.bin")
+
+	undo := flipByte(t, bucketFile, -1)
+	if _, err := New(cfg); !errors.Is(err, pathoram.ErrRootMismatch) {
+		t.Fatalf("boot over tampered bucket file: got %v, want ErrRootMismatch", err)
+	}
+	undo()
+
+	undo = flipByte(t, ckptFile, -1)
+	if _, err := New(cfg); !errors.Is(err, crypt.ErrAuthFailed) {
+		t.Fatalf("boot over tampered checkpoint: got %v, want ErrAuthFailed", err)
+	}
+	undo()
+
+	st, err = New(cfg)
+	if err != nil {
+		t.Fatalf("boot after undoing tampering: %v", err)
+	}
+	got, err := st.Read(7)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("read after untampered recovery: %v %v", got, err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.Remove(ckptFile); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("boot with bucket files but no checkpoint: got %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestMemFileEquivalence drives the same seeded sequential workload against
+// a RAM-backed and a file-backed store for every backend kind and requires
+// identical op results; for the batched backend it additionally requires
+// byte-identical JSON slot-signature traces — the adversary-visible storage
+// schedule must not depend on the storage tier.
+func TestMemFileEquivalence(t *testing.T) {
+	type opResult struct {
+		data []byte
+		err  error
+	}
+	run := func(cfg Config) (results []opResult, traces []byte) {
+		st, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			addr := uint64(i*29) % cfg.Blocks
+			if i%3 != 2 {
+				buf := []byte{byte(i), byte(addr), byte(i >> 3)}
+				results = append(results, opResult{err: st.Write(addr, buf)})
+			} else {
+				data, err := st.Read(addr)
+				results = append(results, opResult{data: data, err: err})
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if cfg.TraceSlots {
+			out, err := json.Marshal(st.SlotTraces())
+			if err != nil {
+				t.Fatal(err)
+			}
+			traces = out
+		}
+		return results, traces
+	}
+	for _, backend := range []string{BackendFlat, BackendRecursive, BackendBatched} {
+		t.Run(backend, func(t *testing.T) {
+			fileCfg := fileStoreCfg(t.TempDir(), backend)
+			memCfg := fileCfg
+			memCfg.Store = StoreMem
+			memCfg.DataDir = ""
+			memCfg.CheckpointEvery = 0
+			// The file store forces integrity; match it on the RAM side so
+			// the two runs differ in nothing but the storage tier.
+			memCfg.Integrity = true
+			if backend == BackendBatched {
+				fileCfg.TraceSlots = true
+				memCfg.TraceSlots = true
+			}
+			memRes, memTrace := run(memCfg)
+			fileRes, fileTrace := run(fileCfg)
+			if len(memRes) != len(fileRes) {
+				t.Fatalf("op counts diverge: %d vs %d", len(memRes), len(fileRes))
+			}
+			for i := range memRes {
+				if (memRes[i].err == nil) != (fileRes[i].err == nil) {
+					t.Fatalf("op %d error mismatch: mem %v, file %v", i, memRes[i].err, fileRes[i].err)
+				}
+				if !bytes.Equal(memRes[i].data, fileRes[i].data) {
+					t.Fatalf("op %d result diverges between mem and file stores", i)
+				}
+			}
+			if backend == BackendBatched && !bytes.Equal(memTrace, fileTrace) {
+				t.Fatalf("slot-signature traces diverge between mem and file stores:\nmem  %s\nfile %s", memTrace, fileTrace)
+			}
+		})
+	}
+}
+
+// TestStoreConfigValidation covers the storage-tier Validate rules,
+// including the RAM-store size cap that replaced the old constructor panic.
+func TestStoreConfigValidation(t *testing.T) {
+	base := Config{Shards: 1, Blocks: 256, BlockBytes: 64, Z: 3}
+
+	huge := base
+	huge.Blocks = 1 << 26 // ~25 GB of buckets: far beyond the RAM store cap
+	err := huge.withDefaults().Validate()
+	if err == nil || !strings.Contains(err.Error(), "RAM store") {
+		t.Fatalf("oversized mem config: got %v, want the RAM-store cap error", err)
+	}
+	huge.Store = StoreFile
+	huge.DataDir = t.TempDir()
+	if err := huge.withDefaults().Validate(); err != nil {
+		t.Fatalf("the file store must lift the RAM cap, got %v", err)
+	}
+
+	bad := base
+	bad.DataDir = "/tmp/x"
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("DataDir without Store file must be rejected")
+	}
+	bad = base
+	bad.CheckpointEvery = 1
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("CheckpointEvery without Store file must be rejected")
+	}
+	bad = base
+	bad.Store = StoreFile
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("Store file without DataDir must be rejected")
+	}
+	bad = base
+	bad.Store = StoreFile
+	bad.DataDir = "/tmp/x"
+	bad.Sync = "sometimes"
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("unknown sync policy must be rejected")
+	}
+	bad = base
+	bad.Store = "paper"
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("unknown store kind must be rejected")
+	}
+
+	ok := base
+	ok.Store = StoreFile
+	ok.DataDir = t.TempDir()
+	ok.CheckpointEvery = 8
+	ok.Sync = "checkpoint"
+	cfg := ok.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid file-store config rejected: %v", err)
+	}
+	if !cfg.Integrity {
+		t.Fatal("the file store must force Integrity on")
+	}
+}
+
+// TestFileStoreStats checks that a file-backed store surfaces the
+// storage-tier counters and checkpoint count through ShardStats.
+func TestFileStoreStats(t *testing.T) {
+	cfg := fileStoreCfg(t.TempDir(), BackendFlat)
+	cfg.Shards = 1
+	cfg.CacheBuckets = 8 // force misses
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for addr := uint64(0); addr < 64; addr++ {
+		if err := st.Write(addr, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ss := st.Stats().Shards[0]
+	if ss.CacheHits == 0 || ss.CacheMisses == 0 {
+		t.Errorf("an 8-bucket cache served 64 writes with hits=%d misses=%d", ss.CacheHits, ss.CacheMisses)
+	}
+	if ss.Checkpoints < 1 {
+		t.Errorf("CheckpointEvery=1 store reports %d checkpoints after 64 writes", ss.Checkpoints)
+	}
+	if ss.Recovery != "fresh" {
+		t.Errorf("boot outcome %q, want fresh", ss.Recovery)
+	}
+}

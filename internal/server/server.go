@@ -42,6 +42,17 @@ import (
 // that has been closed.
 var ErrClosed = errors.New("server: store closed")
 
+// Store selector values for Config.Store.
+const (
+	// StoreMem keeps each shard's bucket tree in RAM (the untrusted-DRAM
+	// model of the paper): fastest, nothing survives the process.
+	StoreMem = "mem"
+	// StoreFile keeps each shard's bucket tree in fixed-offset files under
+	// Config.DataDir, with an LRU page cache, sealed trusted-state
+	// checkpoints and fail-closed crash recovery.
+	StoreFile = "file"
+)
+
 // Config describes a sharded ORAM store.
 type Config struct {
 	// Shards is the number of independent sub-ORAMs (default 4).
@@ -94,6 +105,31 @@ type Config struct {
 	Key crypt.Key
 	// Seed drives the deterministic per-shard RNG streams (default 1).
 	Seed int64
+
+	// Store selects the untrusted bucket storage: StoreMem (default — the
+	// in-RAM ByteStorage the service has always used) or StoreFile (durable
+	// per-shard bucket files under DataDir, with crash recovery from sealed
+	// checkpoints). The file store implies Integrity: checkpoints bind the
+	// untrusted files to Merkle roots, so the tree is always built.
+	Store string
+	// DataDir is the root directory of the file store; each shard keeps its
+	// bucket files and checkpoint in DataDir/shard-NNNN. Required for (and
+	// only meaningful with) StoreFile.
+	DataDir string
+	// CheckpointEvery is the cadence, in served real slots, of sealed
+	// trusted-state checkpoints. 1 checkpoints before acknowledging each
+	// slot's requests, making every ack durable; larger values trade an
+	// at-risk window (covered by cluster replication) for throughput; 0
+	// (default) checkpoints only at clean shutdown — after a crash the
+	// shard fails closed at next boot instead of silently losing writes.
+	CheckpointEvery int
+	// CacheBuckets bounds each level's in-RAM bucket page cache for the
+	// file store (default 1024 buckets per level).
+	CacheBuckets int
+	// Sync is the file store's fsync policy: "none" (default — crash
+	// consistency against process death, not power loss), "checkpoint"
+	// (fsync at checkpoint boundaries) or "always".
+	Sync string
 
 	// ClockHz is the wall-clock frequency of the enforcer's cycle domain in
 	// cycles per second (default 1_000_000: one cycle per microsecond).
@@ -158,6 +194,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Store == "" {
+		c.Store = StoreMem
+	}
+	if c.Store == StoreFile {
+		// The Merkle roots are what checkpoints bind the untrusted bucket
+		// files to; a file-backed shard without them could not detect
+		// offline tampering, so the tree is not optional.
+		c.Integrity = true
+		if c.CacheBuckets == 0 {
+			c.CacheBuckets = 1024
+		}
+		if c.Sync == "" {
+			c.Sync = "none"
+		}
 	}
 	if c.ClockHz == 0 {
 		c.ClockHz = 1_000_000
@@ -234,6 +285,44 @@ func (c Config) Validate() error {
 	if c.TraceSlots && c.Backend != BackendBatched {
 		return fmt.Errorf("server: TraceSlots requires Backend %q, got %q", BackendBatched, c.Backend)
 	}
+	switch c.Store {
+	case "", StoreMem:
+		if c.DataDir != "" {
+			return fmt.Errorf("server: DataDir is set but Store is %q — set Store %q to use it", StoreMem, StoreFile)
+		}
+		if c.CheckpointEvery != 0 {
+			return fmt.Errorf("server: CheckpointEvery requires Store %q", StoreFile)
+		}
+		// The RAM store backs each tree with one contiguous allocation; the
+		// cap that used to be a constructor panic is rejected here with an
+		// actionable error instead of surfacing from shard construction.
+		// (Z == 0 means the caller validates before applying defaults; the
+		// defaulted config re-validates inside New.)
+		if c.Z == 0 {
+			break
+		}
+		for i, g := range levelGeometries(c) {
+			if g.TreeBytes() > pathoram.MaxByteStorage {
+				return fmt.Errorf("server: level %d bucket tree needs %d bytes, above the RAM store's %d-byte cap — use Store %q with a DataDir",
+					i, g.TreeBytes(), uint64(pathoram.MaxByteStorage), StoreFile)
+			}
+		}
+	case StoreFile:
+		if c.DataDir == "" {
+			return fmt.Errorf("server: Store %q requires a DataDir", StoreFile)
+		}
+		if c.CheckpointEvery < 0 {
+			return fmt.Errorf("server: CheckpointEvery must not be negative, got %d", c.CheckpointEvery)
+		}
+		if c.CacheBuckets < 0 {
+			return fmt.Errorf("server: CacheBuckets must not be negative, got %d", c.CacheBuckets)
+		}
+		if _, err := pathoram.ParseSyncPolicy(c.Sync); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	default:
+		return fmt.Errorf("server: unknown Store %q (want %q or %q)", c.Store, StoreMem, StoreFile)
+	}
 	if c.LeakageBudgetBits < 0 {
 		return fmt.Errorf("server: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
 	}
@@ -298,14 +387,21 @@ func New(cfg Config) (*Store, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	backends, err := newBackends(cfg)
+	backends, persisters, err := newBackends(cfg)
 	if err != nil {
 		return nil, err
 	}
 	st := &Store{cfg: cfg, stop: make(chan struct{})}
 	for i, o := range backends {
-		sh, err := newShard(i, o, cfg, st.stop)
+		var p *persister
+		if persisters != nil {
+			p = persisters[i]
+		}
+		sh, err := newShard(i, o, cfg, st.stop, p)
 		if err != nil {
+			for _, pp := range persisters {
+				pp.closeStores()
+			}
 			return nil, err
 		}
 		st.shards = append(st.shards, sh)
@@ -555,6 +651,18 @@ type ShardStats struct {
 	// Failed reports that the shard's ORAM hit an unrecoverable error and
 	// the shard now rejects all requests (monitoring hook).
 	Failed bool `json:"failed,omitempty"`
+	// Store-tier counters, populated only for file-backed shards.
+	// CacheHits/CacheMisses count bucket page cache lookups; FileReads and
+	// FileWrites count bucket-sized file IOs; Checkpoints counts sealed
+	// trusted-state checkpoints written. Recovery reports the shard's boot
+	// outcome: "fresh" (new data dir) or "recovered" (rebuilt from a
+	// checkpoint after a restart).
+	CacheHits   uint64 `json:"cache_hits,omitempty"`
+	CacheMisses uint64 `json:"cache_misses,omitempty"`
+	FileReads   uint64 `json:"file_reads,omitempty"`
+	FileWrites  uint64 `json:"file_writes,omitempty"`
+	Checkpoints uint64 `json:"checkpoints,omitempty"`
+	Recovery    string `json:"recovery,omitempty"`
 }
 
 // Totals sums access counts across shards.

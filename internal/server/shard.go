@@ -65,9 +65,34 @@ type shard struct {
 	batch        [][]*request
 	ops          []pathoram.BatchOp
 	peaksScratch []int
+
+	// persist is the shard's checkpoint engine (nil for RAM-backed shards);
+	// owned by the run goroutine like the ORAM itself. When deferAcks is set
+	// (CheckpointEvery == 1), served requests park in done until the slot's
+	// checkpoint lands, so every delivered ack is durable.
+	persist   *persister
+	ckptEvery int
+	sinceCkpt int
+	deferAcks bool
+	done      []doneEntry
+	recovery  string // "", "fresh" or "recovered"; immutable after newShard
+
+	// Atomic mirrors of the persister's store-tier counters.
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	storeReads  atomic.Uint64
+	storeWrites atomic.Uint64
+	ckpts       atomic.Uint64
 }
 
-func newShard(id int, o Backend, cfg Config, stop chan struct{}) (*shard, error) {
+// doneEntry is a served request whose completion is deferred until the
+// covering checkpoint is durable.
+type doneEntry struct {
+	req *request
+	res result
+}
+
+func newShard(id int, o Backend, cfg Config, stop chan struct{}, p *persister) (*shard, error) {
 	enf, err := enforcerFor(cfg)
 	if err != nil {
 		return nil, err
@@ -83,12 +108,24 @@ func newShard(id int, o Backend, cfg Config, stop chan struct{}) (*shard, error)
 		sh.batcher = bb
 		sh.batchK = bb.BatchK()
 	}
+	if p != nil {
+		sh.persist = p
+		sh.ckptEvery = cfg.CheckpointEvery
+		sh.deferAcks = cfg.CheckpointEvery == 1
+		sh.recovery = "fresh"
+		if p.recovered {
+			sh.recovery = "recovered"
+		}
+	}
 	sh.publishStats() // stats are well-formed before the first slot
 	return sh, nil
 }
 
-// run serves the shard until the store closes.
+// run serves the shard until the store closes. For a file-backed shard the
+// exit path writes the shutdown checkpoint and closes the bucket files (the
+// deferred shutdownPersist), so a clean Close leaves a zero-loss data dir.
 func (sh *shard) run() {
+	defer sh.shutdownPersist()
 	if sh.enf == nil {
 		sh.runUnpaced()
 		return
@@ -118,30 +155,37 @@ func (sh *shard) run() {
 			}
 		}
 		sh.fill()
+		var err error
 		if len(sh.fifo) == 0 {
+			// Dummy slots mutate the ORAM but carry no acks, so they need no
+			// checkpoint: a crash rolls the whole interval back to the last
+			// checkpoint consistently (trusted state and pinned bucket pages
+			// roll back together).
 			sh.enf.TakeSlot(slot, false)
-			if err := sh.oram.DummyAccess(); err != nil {
-				sh.fail(err)
-				return
+			if err = sh.oram.DummyAccess(); err == nil {
+				sh.dummies.Add(1)
 			}
-			sh.dummies.Add(1)
 		} else if sh.batcher != nil {
 			arrival := sh.takeBatch(sh.batchK)
 			sh.enf.TakeSlot(arrival, true)
-			if err := sh.serveBatch(); err != nil {
-				sh.fail(err)
-				return
+			if err = sh.serveBatch(); err == nil {
+				sh.reals.Add(1)
+				err = sh.maybeCheckpoint()
 			}
-			sh.reals.Add(1)
 		} else {
 			arrival := sh.takeGroup()
 			sh.enf.TakeSlot(arrival, true)
-			if err := sh.serveGroup(); err != nil {
-				sh.fail(err)
-				return
+			if err = sh.serveGroup(); err == nil {
+				sh.reals.Add(1)
+				err = sh.maybeCheckpoint()
 			}
-			sh.reals.Add(1)
 		}
+		if err != nil {
+			sh.abortDone(err)
+			sh.fail(err)
+			return
+		}
+		sh.flushDone()
 		sh.publishStats()
 	}
 }
@@ -157,24 +201,97 @@ func (sh *shard) runUnpaced() {
 			sh.fifo = append(sh.fifo, req)
 			sh.fill()
 			for len(sh.fifo) > 0 {
+				var err error
 				if sh.batcher != nil {
 					sh.takeBatch(sh.batchK)
-					if err := sh.serveBatch(); err != nil {
-						sh.fail(err)
-						return
-					}
+					err = sh.serveBatch()
 				} else {
 					sh.takeGroup()
-					if err := sh.serveGroup(); err != nil {
-						sh.fail(err)
-						return
-					}
+					err = sh.serveGroup()
 				}
-				sh.reals.Add(1)
+				if err == nil {
+					sh.reals.Add(1)
+					err = sh.maybeCheckpoint()
+				}
+				if err != nil {
+					sh.abortDone(err)
+					sh.fail(err)
+					return
+				}
+				sh.flushDone()
 			}
 			sh.publishStats()
 		}
 	}
+}
+
+// maybeCheckpoint runs the checkpoint cadence after a served (real) slot:
+// every CheckpointEvery real slots the shard's trusted state is sealed to
+// disk. With CheckpointEvery == 1 this runs between serving and acking, so
+// an acked write is always recoverable.
+func (sh *shard) maybeCheckpoint() error {
+	if sh.persist == nil || sh.ckptEvery <= 0 {
+		return nil
+	}
+	sh.sinceCkpt++
+	if sh.sinceCkpt < sh.ckptEvery {
+		return nil
+	}
+	if err := sh.persist.checkpoint(sh.oram); err != nil {
+		return err
+	}
+	sh.sinceCkpt = 0
+	return nil
+}
+
+// shutdownPersist is the serving goroutine's exit hook for file-backed
+// shards: on a clean stop it writes the final checkpoint and closes the
+// bucket files; after a failure it only closes them, leaving the last good
+// checkpoint as the recovery point.
+func (sh *shard) shutdownPersist() {
+	if sh.persist == nil {
+		return
+	}
+	if sh.failed.Load() {
+		sh.persist.closeStores()
+		return
+	}
+	if err := sh.persist.shutdown(sh.oram); err != nil {
+		// Nothing left to complete (the queue is drained by Close); surface
+		// the lost-durability condition through the Failed stat.
+		sh.failed.Store(true)
+	}
+	sh.ckpts.Store(sh.persist.ckpts)
+}
+
+// finish delivers a result now, or parks it until the covering checkpoint
+// when acks are deferred.
+func (sh *shard) finish(req *request, res result) {
+	if sh.deferAcks {
+		sh.done = append(sh.done, doneEntry{req: req, res: res})
+		return
+	}
+	sh.complete(req, res)
+}
+
+// flushDone delivers the parked completions (no-op unless acks are
+// deferred).
+func (sh *shard) flushDone() {
+	for i, d := range sh.done {
+		sh.complete(d.req, d.res)
+		sh.done[i] = doneEntry{}
+	}
+	sh.done = sh.done[:0]
+}
+
+// abortDone overrides any parked completions with err and delivers them —
+// used when the slot's checkpoint failed, so successfully served requests
+// must not be acked as durable.
+func (sh *shard) abortDone(err error) {
+	for i := range sh.done {
+		sh.done[i].res = result{err: err}
+	}
+	sh.flushDone()
 }
 
 // fail is the shard's terminal state after an ORAM error (storage/cipher
@@ -298,11 +415,11 @@ func (sh *shard) serveGroup() error {
 	})
 	for _, req := range sh.group {
 		if err != nil {
-			sh.complete(req, result{err: err})
+			sh.finish(req, result{err: err})
 		} else if req.write {
-			sh.complete(req, result{})
+			sh.finish(req, result{})
 		} else {
-			sh.complete(req, result{data: req.out})
+			sh.finish(req, result{data: req.out})
 		}
 	}
 	sh.group = sh.group[:0]
@@ -335,11 +452,11 @@ func (sh *shard) serveBatch() error {
 	for _, g := range sh.batch {
 		for i, req := range g {
 			if err != nil {
-				sh.complete(req, result{err: err})
+				sh.finish(req, result{err: err})
 			} else if req.write {
-				sh.complete(req, result{})
+				sh.finish(req, result{})
 			} else {
-				sh.complete(req, result{data: req.out})
+				sh.finish(req, result{data: req.out})
 			}
 			g[i] = nil // don't pin completed requests until the next drain
 		}
@@ -389,6 +506,14 @@ func (sh *shard) publishStats() {
 		published := slices.Clone(sh.peaksScratch)
 		sh.levelPeaks.Store(&published)
 	}
+	if sh.persist != nil {
+		st := sh.persist.storageStats()
+		sh.storeHits.Store(st.CacheHits)
+		sh.storeMisses.Store(st.CacheMisses)
+		sh.storeReads.Store(st.FileReads)
+		sh.storeWrites.Store(st.FileWrites)
+		sh.ckpts.Store(sh.persist.ckpts)
+	}
 }
 
 // stats snapshots the shard's counters. Every enforcer-side field (rate,
@@ -407,6 +532,12 @@ func (sh *shard) stats() ShardStats {
 		ForcedEvictions: sh.forcedEvict.Load(),
 		StashPeak:       int(sh.stashPeak.Load()),
 		Failed:          sh.failed.Load(),
+		CacheHits:       sh.storeHits.Load(),
+		CacheMisses:     sh.storeMisses.Load(),
+		FileReads:       sh.storeReads.Load(),
+		FileWrites:      sh.storeWrites.Load(),
+		Checkpoints:     sh.ckpts.Load(),
+		Recovery:        sh.recovery,
 	}
 	if p := sh.levelPeaks.Load(); p != nil {
 		ss.StashPeaks = slices.Clone(*p)

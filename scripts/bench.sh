@@ -45,7 +45,10 @@ trap 'rm -f "$raw"' EXIT
 # capacity runs); BenchmarkClusterThroughput does the same one
 # level up (nodes=N over loopback TCP); every sub-benchmark lands in the
 # JSON and is gated by bench_compare.sh from its first committed record
-# onward. BenchmarkCalibration is the hardware yardstick: a fixed AES-CTR
+# onward. The file-store series (file/shards=N, file-unpaced) measure the
+# durable tier; every record row carries a "store" field ("mem" or "file",
+# classified from the sub-benchmark name) so bench_compare.sh can refuse a
+# mem-vs-file comparison if a series is ever renamed across store kinds. BenchmarkCalibration is the hardware yardstick: a fixed AES-CTR
 # loop recorded in every BENCH_*.json so bench_compare.sh can normalize
 # away runner-generation drift instead of gating code against hardware.
 # Naming convention the gate depends on: slot-grid-paced throughput series
@@ -62,6 +65,7 @@ awk -v date="$stamp" -v commit="$commit" '
 BEGIN { print "[" ; n = 0 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
+    store = (name ~ /\/file/) ? "file" : "mem"
     ns = ""; bytes = ""; allocs = ""; epoch = ""
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op") ns = $i
@@ -71,7 +75,7 @@ BEGIN { print "[" ; n = 0 }
     }
     if (ns == "") next
     if (n++) printf ",\n"
-    printf "  {\"date\": \"%s\", \"commit\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s", date, commit, name, ns
+    printf "  {\"date\": \"%s\", \"commit\": \"%s\", \"name\": \"%s\", \"store\": \"%s\", \"ns_per_op\": %s", date, commit, name, store, ns
     if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
     if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
     if (epoch != "")  printf ", \"routing_epoch\": %s", epoch

@@ -93,10 +93,13 @@ BENCH_ALLOW_DIRTY=1 scripts/bench.sh "$freshdir" >/dev/null
 fresh="$(ls -t "$freshdir"/BENCH_*.json | head -1)"
 echo "bench_compare: fresh record $fresh"
 
-# Extract "name ns_per_op" pairs from a bench JSON (our own fixed format).
+# Extract "name ns_per_op store" triples from a bench JSON (our own fixed
+# format). Records written before the durable tier carry no "store" field;
+# every series then was RAM-backed, so absent means "mem".
 extract() {
-    grep -o '"name": "[^"]*", "ns_per_op": [0-9.e+]*' "$1" |
-        sed 's/"name": "\([^"]*\)", "ns_per_op": \([0-9.e+]*\)/\1 \2/'
+    grep -o '"name": "[^"]*"\(, "store": "[^"]*"\)\{0,1\}, "ns_per_op": [0-9.e+]*' "$1" |
+        sed -e 's/"name": "\([^"]*\)", "store": "\([^"]*\)", "ns_per_op": \([0-9.e+]*\)/\1 \3 \2/' \
+            -e 's/"name": "\([^"]*\)", "ns_per_op": \([0-9.e+]*\)/\1 \2 mem/'
 }
 
 extract "$baseline" | sort > "$workdir/base.txt"
@@ -129,9 +132,17 @@ fi
 
 awk -v tol="$tol" -v ratio="$ratio" -v cal="$cal_name" '
 FILENAME == ARGV[1] { older[$1] = 1; next }
-FILENAME == ARGV[2] { base[$1] = $2; next }
+FILENAME == ARGV[2] { base[$1] = $2; bstore[$1] = $3; next }
 {
     if ($1 == cal) next # the yardstick measures hardware; never gate it
+    # A mem-backed baseline says nothing about a file-backed run (and vice
+    # versa): a series whose store kind changed under the same name must be
+    # re-baselined, not compared. Refuse rather than misjudge.
+    if (($1 in base) && bstore[$1] != $3) {
+        printf "  STORE    %-55s baseline store %s, fresh store %s — refusing mem-vs-file comparison; commit a fresh baseline for the renamed series\n", $1, bstore[$1], $3
+        bad++
+        next
+    }
     if (!($1 in base)) {
         if ($1 in older)
             printf "  WARN     %-55s %12.1f ns/op — in an older committed record but not in the newest baseline; gate coverage lost until a fresh baseline is committed\n", $1, $2
