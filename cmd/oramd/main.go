@@ -60,6 +60,9 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "file store: sealed checkpoint every N served slots (1 = durable acks, 0 = shutdown only)")
 		cacheBkts  = flag.Int("cache-buckets", 0, "file store: bucket page cache size per level (0 = default 1024)")
 		syncPolicy = flag.String("sync", "none", "file store fsync policy: none | checkpoint | always")
+		ckptMode   = flag.String("checkpoint-mode", "", "file store checkpoint strategy: full (rewrite base.bin each time; default) | delta (append O(dirty) hash-linked delta chain elements)")
+		compactAt  = flag.Int64("delta-compact-after", 0, "delta mode: fold the chain into a fresh base once sealed delta bytes pass this threshold (0 = default 4 MiB)")
+		mmapReads  = flag.Bool("mmap", false, "file store: serve clean bucket reads from a read-only mmap of each bucket file (unix only)")
 		statsVerb  = flag.Bool("stats", false, "control verb: poll the daemon at -addr for its stats snapshot, print JSON, exit")
 	)
 	flag.Parse()
@@ -100,6 +103,9 @@ func main() {
 		CheckpointEvery:   *ckptEvery,
 		CacheBuckets:      *cacheBkts,
 		Sync:              *syncPolicy,
+		CheckpointMode:    *ckptMode,
+		DeltaCompactAfter: *compactAt,
+		MMap:              *mmapReads,
 	}
 	st, err := server.New(cfg)
 	if err != nil {
@@ -126,8 +132,8 @@ func main() {
 				recovered++
 			}
 		}
-		fmt.Printf("oramd: file store in %s — %d/%d shards recovered from checkpoints (checkpoint-every %d, sync %s)\n",
-			eff.DataDir, recovered, eff.Shards, eff.CheckpointEvery, eff.Sync)
+		fmt.Printf("oramd: file store in %s — %d/%d shards recovered from checkpoints (checkpoint-every %d, mode %s, sync %s)\n",
+			eff.DataDir, recovered, eff.Shards, eff.CheckpointEvery, eff.CheckpointMode, eff.Sync)
 	}
 
 	sig := make(chan os.Signal, 1)

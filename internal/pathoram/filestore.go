@@ -69,6 +69,13 @@ type FileStorageConfig struct {
 	CacheBuckets int
 	// Sync selects the fsync policy.
 	Sync SyncPolicy
+	// MMap maps the bucket file read-only and serves clean-bucket reads
+	// straight from the mapping instead of copying pages into the cache —
+	// the read path for bucket files bigger than the configured page
+	// cache. Writes are unaffected: they still buffer in pinned dirty
+	// pages (the redo-in-checkpoint invariant), and dirty pages shadow the
+	// mapping until Flush. Unix-only; construction fails elsewhere.
+	MMap bool
 }
 
 // filePage is one cached bucket.
@@ -93,6 +100,7 @@ type FileStorage struct {
 	lru        *list.List               // front = most recently used
 	dirty      int
 	retain     bool
+	mmap       []byte // read-only whole-file mapping when cfg.MMap
 	stats      StorageStats
 }
 
@@ -119,6 +127,12 @@ func CreateFileStorage(g Geometry, cfg FileStorageConfig) (*FileStorage, error) 
 	}
 	if cfg.Sync != SyncNone {
 		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if cfg.MMap {
+		if err := s.mapFile(); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -153,6 +167,12 @@ func OpenFileStorage(g Geometry, cfg FileStorageConfig) (*FileStorage, error) {
 	} else if fi.Size() < s.fileSize() {
 		f.Close()
 		return nil, fmt.Errorf("%w: %s holds %d bytes, want %d", ErrFileGeometry, cfg.Path, fi.Size(), s.fileSize())
+	}
+	if cfg.MMap {
+		if err := s.mapFile(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -279,8 +299,26 @@ func (s *FileStorage) writeOut(p *filePage) {
 }
 
 // ReadBucket implements Storage. The returned slice aliases the cache page
-// and is valid until the next operation on the store.
+// (or, under MMap, the file mapping) and is valid until the next operation
+// on the store.
 func (s *FileStorage) ReadBucket(idx uint64) []byte {
+	if s.mmap != nil {
+		// Dirty pages shadow the mapping: they hold writes the file has
+		// not absorbed yet (pinned until Flush under the checkpoint
+		// protocol). Everything else reads straight from the mapping — no
+		// page copy, no cache churn, and after a Flush the mapping is
+		// coherent with the flushed bytes (MAP_SHARED over the same file).
+		if el, ok := s.cache[idx]; ok {
+			if p := el.Value.(*filePage); p.dirty {
+				s.stats.CacheHits++
+				s.lru.MoveToFront(el)
+				return p.data
+			}
+		}
+		s.stats.MMapReads++
+		off := s.bucketOffset(idx)
+		return s.mmap[off : off+int64(s.bucketSize)]
+	}
 	return s.page(idx, true).data
 }
 
@@ -340,8 +378,12 @@ func (s *FileStorage) Flush() error {
 	return nil
 }
 
-// Close releases the file handle without flushing (see BucketStore.Close).
-func (s *FileStorage) Close() error { return s.f.Close() }
+// Close releases the mapping (if any) and the file handle without flushing
+// (see BucketStore.Close).
+func (s *FileStorage) Close() error {
+	s.unmapFile()
+	return s.f.Close()
+}
 
 // Stats implements BucketStore.
 func (s *FileStorage) Stats() StorageStats { return s.stats }

@@ -1,0 +1,33 @@
+//go:build unix
+
+package pathoram
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// MMapSupported reports whether this platform can serve bucket reads from a
+// file mapping (FileStorageConfig.MMap).
+const MMapSupported = true
+
+// mapFile maps the whole bucket file read-only and shared. MAP_SHARED keeps
+// the mapping coherent with Flush's WriteAt traffic through the kernel's
+// unified page cache, so a flushed bucket is immediately visible through
+// the mapping without remapping.
+func (s *FileStorage) mapFile() error {
+	m, err := syscall.Mmap(int(s.f.Fd()), 0, int(s.fileSize()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return fmt.Errorf("pathoram: mmapping %s: %w", s.cfg.Path, err)
+	}
+	s.mmap = m
+	return nil
+}
+
+// unmapFile releases the mapping; safe to call when none exists.
+func (s *FileStorage) unmapFile() {
+	if s.mmap != nil {
+		syscall.Munmap(s.mmap)
+		s.mmap = nil
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !unix
+
+package pathoram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MMapSupported reports whether this platform can serve bucket reads from a
+// file mapping (FileStorageConfig.MMap).
+const MMapSupported = false
+
+// ErrMMapUnsupported is returned when FileStorageConfig.MMap is requested
+// on a platform without mmap support; the caller falls back to the cached
+// read path by not asking for the mapping.
+var ErrMMapUnsupported = errors.New("pathoram: mmap bucket reads are not supported on this platform")
+
+func (s *FileStorage) mapFile() error {
+	return fmt.Errorf("%w (%s)", ErrMMapUnsupported, s.cfg.Path)
+}
+
+func (s *FileStorage) unmapFile() {}

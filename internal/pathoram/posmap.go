@@ -1,5 +1,7 @@
 package pathoram
 
+import "slices"
+
 // unknownLeaf marks a position-map slot whose block has never been accessed.
 const unknownLeaf = ^uint64(0)
 
@@ -14,6 +16,11 @@ type positionMap struct {
 	flat  []uint64 // flat[addr] = leaf, or unknownLeaf
 	limit uint64   // flat may grow to cover addresses < limit
 	over  map[uint64]uint64
+	// journal, when non-nil, records every address Set has dirtied since
+	// the last capture — the change set a delta checkpoint drains instead
+	// of copying the whole map. Nil (the default) keeps the hot path free
+	// of any tracking cost for callers that never capture deltas.
+	journal map[uint64]struct{}
 }
 
 // newPositionMap returns a position map whose flat region may grow to limit
@@ -36,9 +43,46 @@ func (p *positionMap) Get(addr uint64) (uint64, bool) {
 	return l, ok
 }
 
+// Track arms dirty tracking: from now on Set records each assigned address
+// in the journal so a delta capture can serialize only what changed.
+func (p *positionMap) Track() {
+	if p.journal == nil {
+		p.journal = make(map[uint64]struct{})
+	}
+}
+
+// Tracking reports whether dirty tracking is armed.
+func (p *positionMap) Tracking() bool { return p.journal != nil }
+
+// drainJournal returns the dirtied addresses in ascending order (for
+// deterministic delta encoding) and resets the journal.
+func (p *positionMap) drainJournal() []uint64 {
+	if len(p.journal) == 0 {
+		return nil
+	}
+	addrs := make([]uint64, 0, len(p.journal))
+	for a := range p.journal {
+		addrs = append(addrs, a)
+	}
+	clear(p.journal)
+	slices.Sort(addrs)
+	return addrs
+}
+
+// resetJournal empties the journal without reading it — a full capture
+// supersedes any accumulated delta baseline.
+func (p *positionMap) resetJournal() {
+	if p.journal != nil {
+		clear(p.journal)
+	}
+}
+
 // Set assigns a leaf to addr, growing the flat region (amortized O(1)) when
 // a new dense address appears.
 func (p *positionMap) Set(addr, leaf uint64) {
+	if p.journal != nil {
+		p.journal[addr] = struct{}{}
+	}
 	if addr < p.limit {
 		if addr >= uint64(len(p.flat)) {
 			n := uint64(len(p.flat)) * 2

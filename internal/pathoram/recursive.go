@@ -111,7 +111,11 @@ type Recursive struct {
 	// onChip is the final position map held in on-chip SRAM: a flat slice
 	// indexed by block number, unassignedLabel for never-touched entries.
 	onChip []uint32
-	rng    *rand.Rand
+	// onChipDirty, when non-nil, journals the on-chip indices rewritten
+	// since the last capture (see positionMap.journal — same contract,
+	// armed by TrackDirty, drained by CaptureDelta).
+	onChipDirty map[uint64]struct{}
+	rng         *rand.Rand
 	// readBuf is the reused read-result scratch: Access(OpRead) copies the
 	// block into it and returns it, so the steady-state recursive hot path
 	// allocates nothing. The returned slice is only valid until the next
@@ -232,6 +236,9 @@ func (r *Recursive) lookupAndRemap(level int, index uint64, newLabel uint32) (ui
 		// range-checked and each recursion level divides by the fan-out.
 		cur := r.onChip[index]
 		r.onChip[index] = newLabel
+		if r.onChipDirty != nil {
+			r.onChipDirty[index] = struct{}{}
+		}
 		return cur, nil
 	}
 

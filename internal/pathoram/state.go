@@ -100,22 +100,41 @@ func (o *ORAM) captureLevel() (LevelState, error) {
 			ls.PosOver[a] = l
 		}
 	}
+	ls.Stash = o.captureStash()
+	ls.Stale = o.captureStale()
+	// A full capture supersedes any delta baseline: the journal restarts
+	// empty so the next CaptureDelta describes changes since this snapshot.
+	o.posmap.resetJournal()
+	return ls, nil
+}
+
+// captureStash snapshots the stash blocks in slot order (deterministic
+// eviction order on recovery).
+func (o *ORAM) captureStash() []StashBlockState {
+	var out []StashBlockState
 	for i := range o.stash.blocks {
 		b := &o.stash.blocks[i]
-		ls.Stash = append(ls.Stash, StashBlockState{Addr: b.Addr, Leaf: b.Leaf, Data: slices.Clone(b.Data)})
+		out = append(out, StashBlockState{Addr: b.Addr, Leaf: b.Leaf, Data: slices.Clone(b.Data)})
 	}
-	if len(o.stale) > 0 {
-		ls.Stale = make(map[uint64][]uint64, len(o.stale))
-		for bucket, set := range o.stale {
-			addrs := make([]uint64, 0, len(set))
-			for a := range set {
-				addrs = append(addrs, a)
-			}
-			slices.Sort(addrs)
-			ls.Stale[bucket] = addrs
+	return out
+}
+
+// captureStale snapshots the batched-mode tombstone map with sorted address
+// lists (deterministic encoding); nil when there are no tombstones.
+func (o *ORAM) captureStale() map[uint64][]uint64 {
+	if len(o.stale) == 0 {
+		return nil
+	}
+	out := make(map[uint64][]uint64, len(o.stale))
+	for bucket, set := range o.stale {
+		addrs := make([]uint64, 0, len(set))
+		for a := range set {
+			addrs = append(addrs, a)
 		}
+		slices.Sort(addrs)
+		out[bucket] = addrs
 	}
-	return ls, nil
+	return out
 }
 
 // CaptureState snapshots a flat ORAM's trusted state.
@@ -134,6 +153,9 @@ func (r *Recursive) CaptureState() (*ShardState, error) {
 		OnChip:        slices.Clone(r.onChip),
 		StackAccesses: r.Accesses,
 		StackDummies:  r.DummyAccesses,
+	}
+	if r.onChipDirty != nil {
+		clear(r.onChipDirty)
 	}
 	for i, o := range r.orams {
 		ls, err := o.captureLevel()

@@ -51,6 +51,7 @@ type StorageStats struct {
 	CacheMisses uint64
 	FileReads   uint64 // buckets read from the backing file
 	FileWrites  uint64 // buckets written to the backing file
+	MMapReads   uint64 // clean-bucket reads served from the file mapping
 }
 
 func (s StorageStats) add(o StorageStats) StorageStats {
@@ -59,6 +60,7 @@ func (s StorageStats) add(o StorageStats) StorageStats {
 		CacheMisses: s.CacheMisses + o.CacheMisses,
 		FileReads:   s.FileReads + o.FileReads,
 		FileWrites:  s.FileWrites + o.FileWrites,
+		MMapReads:   s.MMapReads + o.MMapReads,
 	}
 }
 

@@ -114,6 +114,19 @@ func BenchmarkServerThroughput(b *testing.B) {
 			cfg.Unpaced = true
 		})
 	})
+	// The incremental checkpoint pipeline: same durable grid but each
+	// checkpoint appends an O(dirty) sealed delta to a hash-linked chain
+	// instead of rewriting the whole trusted state. bench.sh records the
+	// checkpoint_mode per series and bench_compare.sh refuses full-vs-delta
+	// comparisons, so these gate only against their own history.
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("file-delta/shards=%d", n), func(b *testing.B) {
+			runThroughput(b, n, func(cfg *Config) {
+				fileStore(b.TempDir())(cfg)
+				cfg.CheckpointMode = CheckpointDelta
+			})
+		})
+	}
 }
 
 func runThroughput(b *testing.B, shards int, mutate func(*Config)) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"testing"
@@ -186,6 +187,121 @@ func TestCrashRecoveryEndToEnd(t *testing.T) {
 		}
 	}
 	// The recovered daemon keeps serving: new writes land and read back.
+	if err := c2.Write(9, []byte("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Read(9)
+	if err != nil || !bytes.HasPrefix(got, []byte("post-crash")) {
+		t.Fatalf("post-recovery write/read: %q %v", got, err)
+	}
+}
+
+// TestCrashRecoveryDeltaChainEndToEnd is the kill−9 acceptance for the delta
+// checkpoint chain: a real oramd with -checkpoint-mode delta and a tiny
+// -delta-compact-after (so the run crosses several chain folds) is SIGKILLed
+// mid-run — possibly mid-delta-write — and a restart over the same data dir
+// must replay base + chain and recover every acknowledged write. A planted
+// orphan delta tmp file checks the boot-time sweep of interrupted writes.
+func TestCrashRecoveryDeltaChainEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs external daemons")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "oramd")
+	if out, err := exec.Command(goBin, "build", "-o", bin, "tcoram/cmd/oramd").CombinedOutput(); err != nil {
+		t.Fatalf("building oramd: %v\n%s", err, out)
+	}
+	dataDir := t.TempDir()
+	addr := freeLoopbackPort(t)
+	args := []string{
+		"-addr", addr,
+		"-shards", "2",
+		"-blocks", "256",
+		"-olat", "5",
+		"-rates", "45",
+		"-store", "file",
+		"-data-dir", dataDir,
+		"-checkpoint-every", "1",
+		"-checkpoint-mode", "delta",
+		"-delta-compact-after", "65536",
+	}
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+		return cmd
+	}
+	dial := func() *RetryClient {
+		c, err := RetryDial(addr, RetryConfig{
+			Attempts: 200,
+			Backoff:  Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatalf("daemon at %s never came up: %v", addr, err)
+		}
+		return c
+	}
+
+	daemon := start()
+	c := dial()
+	payload := func(i int) []byte {
+		return []byte(fmt.Sprintf("acked-%03d", i))
+	}
+	acked := make(map[uint64][]byte)
+	for i := 0; i < 150; i++ {
+		addr := uint64(i*7) % 256
+		if err := c.Write(addr, payload(i)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		acked[addr] = payload(i)
+	}
+
+	daemon.Process.Kill()
+	daemon.Wait()
+	c.Close()
+
+	// An interrupted delta write leaves a tmp file; plant one to pin the
+	// boot-time sweep even if the kill landed between checkpoints.
+	orphan := filepath.Join(dataDir, "shard-0000", "delta-999999.tmp")
+	if err := os.WriteFile(orphan, []byte("torn write"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	start()
+	c2 := dial()
+	defer c2.Close()
+	st, err := c2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range st.Shards {
+		if sh.Recovery != "recovered" {
+			t.Errorf("shard %d reboot outcome %q, want recovered", sh.Shard, sh.Recovery)
+		}
+		if sh.Failed {
+			t.Errorf("shard %d failed after recovery", sh.Shard)
+		}
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned delta tmp survived the boot sweep (stat err %v)", err)
+	}
+	for addr, want := range acked {
+		got, err := c2.Read(addr)
+		if err != nil {
+			t.Fatalf("reading acked block %d after chain recovery: %v", addr, err)
+		}
+		if !bytes.HasPrefix(got, want) {
+			t.Errorf("acked block %d reads %q after chain recovery, want prefix %q", addr, got[:len(want)], want)
+		}
+	}
 	if err := c2.Write(9, []byte("post-crash")); err != nil {
 		t.Fatal(err)
 	}

@@ -2,12 +2,17 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	mrand "math/rand"
 	"os"
 	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
 
 	"tcoram/internal/crypt"
 	"tcoram/internal/pathoram"
@@ -19,27 +24,47 @@ import (
 //   - the bucket files (level-N.oram), which are UNTRUSTED exactly like the
 //     DRAM they replace: ciphertexts an offline adversary may read and
 //     rewrite at will;
-//   - a sealed checkpoint (checkpoint.bin) of the TRUSTED controller state —
-//     position maps, stash contents, tombstones, counters — plus the Merkle
-//     roots binding it to the bucket files, encrypted and MAC'd under the
-//     session key (crypt.Seal).
+//   - a sealed checkpoint CHAIN of the TRUSTED controller state — position
+//     maps, stash contents, tombstones, counters — plus the Merkle roots
+//     binding it to the bucket files, each element encrypted and MAC'd
+//     under the session key (crypt.Seal).
+//
+// The chain is base.bin (a full ShardState snapshot, persistedState) plus
+// zero or more delta-NNNNNN.bin files (incremental pathoram.ShardDelta
+// captures, persistedDelta) in strictly increasing sequence order. Every
+// delta names its position in the chain (Seq) and carries the SHA-256 of
+// its predecessor's sealed bytes (Prev), so a chain an adversary splices,
+// reorders or punches a hole in fails closed at recovery: a tampered
+// element fails authentication (crypt.ErrAuthFailed), a missing element is
+// a sequence gap (ErrChainGap), a reordered or substituted element breaks
+// the predecessor hash (ErrChainOrder). In "full" checkpoint mode (the
+// default) every checkpoint rewrites base.bin and the chain has one
+// element, exactly PR 8's protocol under a new file name; in "delta" mode a
+// checkpoint appends an O(dirty) delta, and a compactor folds the chain
+// back into a fresh base once the accumulated delta bytes pass
+// Config.DeltaCompactAfter (so recovery replay and chain storage stay
+// bounded).
 //
 // Crash consistency uses redo-in-checkpoint: between checkpoints every dirty
 // bucket page is pinned in the cache (FileStorage.RetainDirty), so the
-// bucket files never change behind the checkpoint's back. A checkpoint then
-// (1) captures trusted state and the dirty pages as redo records, (2) seals
-// and atomically renames the blob into place, (3) flushes the dirty pages.
-// A crash at any point leaves the newest complete checkpoint plus a bucket
-// file the checkpoint's redo replays into exactly the state its Merkle
-// roots certify — replay is idempotent, so a torn flush repairs cleanly.
-// Recovery therefore: open + authenticate the checkpoint (tampering fails
-// closed with crypt.ErrAuthFailed), replay redo, re-hash the bucket files
-// and compare against the sealed roots (tampering fails closed with
-// pathoram.ErrRootMismatch), and rebuild the backend.
+// bucket files never change behind the chain's back. A checkpoint then
+// (1) captures trusted state (full or delta) and the dirty pages as redo
+// records, (2) seals and atomically renames the blob into place, (3)
+// flushes the dirty pages. A crash at any point leaves a complete chain
+// plus bucket files that the chain's redo records — replayed in chain
+// order, idempotently — converge to exactly the state the newest element's
+// Merkle roots certify. Recovery therefore: authenticate and decode the
+// base, fold each delta in order (verifying Seq and Prev), replay all redo,
+// re-hash the bucket files against the final roots (tampering fails closed
+// with pathoram.ErrRootMismatch), and rebuild the backend.
 
 const (
-	checkpointFile = "checkpoint.bin"
-	checkpointTemp = "checkpoint.tmp"
+	baseFile = "base.bin"
+	baseTemp = "base.tmp"
+	// legacyCheckpointFile is PR 8's single-checkpoint name; a data dir
+	// written before the chain protocol is adopted by renaming it to
+	// base.bin at boot (its gob payload decodes as a Seq-0 base).
+	legacyCheckpointFile = "checkpoint.bin"
 	// initMarker exists while a shard directory is being freshly
 	// initialized: present on boot, the half-written bucket files are
 	// discarded and initialization restarts. Bucket files WITHOUT a
@@ -49,12 +74,46 @@ const (
 	initMarker = "INITIALIZING"
 )
 
+// deltaName and deltaTempName are the chain-element file names for seq;
+// fixed-width so lexicographic directory order is chain order.
+func deltaName(seq uint64) string     { return fmt.Sprintf("delta-%06d.bin", seq) }
+func deltaTempName(seq uint64) string { return fmt.Sprintf("delta-%06d.tmp", seq) }
+
+// parseDeltaName extracts the sequence number from a delta file name. The
+// digit run is parsed without a width cap so chains whose sequence outgrows
+// the 6-digit minimum width still recover.
+func parseDeltaName(name string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(name, "delta-")
+	if !ok {
+		return 0, false
+	}
+	digits, ok = strings.CutSuffix(digits, ".bin")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
 // ErrNoCheckpoint is returned when a shard directory holds bucket files but
 // no checkpoint and no initialization marker — recovery is impossible and
 // reinitialization would destroy data, so boot refuses.
 var ErrNoCheckpoint = errors.New("server: bucket files present without a checkpoint; refusing to reinitialize")
 
-// persistedState is the gob payload sealed into a checkpoint.
+// ErrChainGap is returned when the delta chain has a sequence hole — an
+// element was deleted (or never made it to disk while its successors did),
+// so the trusted state cannot be reconstructed. Fail closed.
+var ErrChainGap = errors.New("server: checkpoint delta chain has a gap; refusing to recover")
+
+// ErrChainOrder is returned when a delta's predecessor hash (or its sealed
+// sequence number) does not match its position in the chain — the chain was
+// reordered or spliced from elements of different histories. Fail closed.
+var ErrChainOrder = errors.New("server: checkpoint delta chain predecessor mismatch (reordered or spliced chain); refusing to recover")
+
+// persistedState is the gob payload sealed into base.bin.
 type persistedState struct {
 	// Backend guards against restarting a data dir under a different
 	// backend kind (the trusted state would not fit the new stack).
@@ -63,12 +122,41 @@ type persistedState struct {
 	// restarted shard does not replay the leaf sequence the pre-crash
 	// instance already consumed after the checkpoint.
 	Restarts uint64
+	// Seq is the chain position this base folds up to: deltas with
+	// sequence <= Seq predate it and are swept as stale at recovery (a
+	// crash between a compaction's base rename and its delta cleanup
+	// leaves exactly such files), deltas from Seq+1 upward extend it.
+	Seq uint64
 	// State is the captured trusted state, including per-level Merkle
 	// roots.
 	State *pathoram.ShardState
 	// Redo carries every bucket dirty in cache at capture time: ciphertext
 	// writes the bucket file had not absorbed yet. Replayed idempotently
 	// on recovery before root verification.
+	Redo []redoLevel
+}
+
+// persistedDelta is the gob payload sealed into one delta-NNNNNN.bin chain
+// element.
+type persistedDelta struct {
+	// Backend mirrors persistedState.Backend.
+	Backend string
+	// Restarts is the writer's restart count; recovery takes the value
+	// from the newest chain element (the chain survives restarts without
+	// a base rewrite, so the base's count can be stale).
+	Restarts uint64
+	// Seq is this element's chain position. It must equal the sequence in
+	// the file name — a mismatch means the file was renamed into a slot it
+	// was not sealed for (ErrChainOrder).
+	Seq uint64
+	// Prev is the SHA-256 of the predecessor chain element's sealed bytes
+	// (base.bin for the first delta). Each element is individually
+	// authenticated by crypt.Seal; Prev authenticates their ORDER.
+	Prev [sha256.Size]byte
+	// Delta is the O(dirty) trusted-state change set since the previous
+	// chain element.
+	Delta *pathoram.ShardDelta
+	// Redo mirrors persistedState.Redo: buckets dirty at this capture.
 	Redo []redoLevel
 }
 
@@ -96,6 +184,24 @@ type persister struct {
 	ckpts     uint64
 	recovered bool
 	sync      pathoram.SyncPolicy
+
+	// Chain state. mode selects full (every checkpoint rewrites base.bin)
+	// or delta (checkpoints append O(dirty) chain elements); seq/lastHash
+	// name the newest chain element and the hash the next delta must link
+	// to; chainBytes accumulates sealed delta sizes since the last base so
+	// the compactor can fold the chain past compactAfter bytes; haveBase
+	// gates delta writes until an initial base exists.
+	mode         string
+	compactAfter int64
+	seq          uint64
+	lastHash     [sha256.Size]byte
+	chainBytes   int64
+	haveBase     bool
+
+	// Checkpoint cost totals (ShardStats checkpoint_bytes/checkpoint_ns):
+	// sealed bytes written and wall time spent across all checkpoints.
+	ckptBytes uint64
+	ckptNS    uint64
 }
 
 // shardDir returns the per-shard subdirectory of the data dir.
@@ -137,6 +243,34 @@ func captureState(b Backend) (*pathoram.ShardState, error) {
 	return nil, fmt.Errorf("server: backend %T cannot capture state", b)
 }
 
+// captureDelta drains a backend's change journals (delta checkpoint mode).
+func captureDelta(b Backend) (*pathoram.ShardDelta, error) {
+	switch o := b.(type) {
+	case *pathoram.ORAM:
+		return o.CaptureDelta()
+	case *pathoram.Recursive:
+		return o.CaptureDelta()
+	case *pathoram.Batched:
+		return o.CaptureDelta()
+	}
+	return nil, fmt.Errorf("server: backend %T cannot capture deltas", b)
+}
+
+// trackDirty arms a backend's change journals (delta checkpoint mode).
+func trackDirty(b Backend) error {
+	switch o := b.(type) {
+	case *pathoram.ORAM:
+		o.TrackDirty()
+	case *pathoram.Recursive:
+		o.TrackDirty()
+	case *pathoram.Batched:
+		o.TrackDirty()
+	default:
+		return fmt.Errorf("server: backend %T cannot track dirty state", b)
+	}
+	return nil
+}
+
 // newFileShard builds (or recovers) one file-backed shard: the backend plus
 // the persister that will checkpoint it. Boot outcomes:
 //
@@ -152,13 +286,25 @@ func newFileShard(cfg Config, shard int) (Backend, *persister, error) {
 		return nil, nil, err
 	}
 	p := &persister{
-		dir:     dir,
-		shard:   shard,
-		backend: cfg.Backend,
-		cipher:  crypt.NewCipher(cfg.Key, nil),
-		sync:    sync,
+		dir:          dir,
+		shard:        shard,
+		backend:      cfg.Backend,
+		cipher:       crypt.NewCipher(cfg.Key, nil),
+		sync:         sync,
+		mode:         cfg.CheckpointMode,
+		compactAfter: cfg.DeltaCompactAfter,
 	}
-	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err == nil {
+	// A pre-chain data dir carries its full checkpoint under the old name;
+	// adopt it as the chain's base (the gob payload decodes as a Seq-0
+	// persistedState, and no deltas exist yet).
+	if _, err := os.Stat(filepath.Join(dir, baseFile)); err != nil {
+		if _, lerr := os.Stat(filepath.Join(dir, legacyCheckpointFile)); lerr == nil {
+			if rerr := os.Rename(filepath.Join(dir, legacyCheckpointFile), filepath.Join(dir, baseFile)); rerr != nil {
+				return nil, nil, fmt.Errorf("server: shard %d: adopting legacy checkpoint: %w", shard, rerr)
+			}
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, baseFile)); err == nil {
 		b, err := p.recover(cfg, sync)
 		if err != nil {
 			p.closeStores()
@@ -187,6 +333,7 @@ func storeConfig(cfg Config, dir string, level int, sync pathoram.SyncPolicy) pa
 		Path:         levelPath(dir, level),
 		CacheBuckets: cfg.CacheBuckets,
 		Sync:         sync,
+		MMap:         cfg.MMap,
 	}
 }
 
@@ -201,7 +348,7 @@ func (p *persister) initialize(cfg Config, sync pathoram.SyncPolicy) (Backend, e
 	if err := os.WriteFile(marker, []byte("initializing\n"), 0o600); err != nil {
 		return nil, err
 	}
-	os.Remove(filepath.Join(p.dir, checkpointTemp))
+	sweepTemps(p.dir)
 	factory := func(level int, g pathoram.Geometry) (pathoram.BucketStore, error) {
 		fs, err := pathoram.CreateFileStorage(g, storeConfig(cfg, p.dir, level, sync))
 		if err != nil {
@@ -232,8 +379,14 @@ func (p *persister) initialize(cfg Config, sync pathoram.SyncPolicy) (Backend, e
 	// The Merkle tree is mandatory for file-backed shards: its roots are
 	// what every checkpoint binds the untrusted files to.
 	b.EnableIntegrity()
+	if p.mode == CheckpointDelta {
+		if err := trackDirty(b); err != nil {
+			return nil, err
+		}
+	}
 	// Settle the freshly initialized tree into the files, then cut the
-	// first checkpoint (empty redo) and arm dirty-page pinning.
+	// first checkpoint (always a base — the chain needs an anchor) and arm
+	// dirty-page pinning.
 	for _, fs := range p.stores {
 		if err := fs.Flush(); err != nil {
 			return nil, err
@@ -249,24 +402,36 @@ func (p *persister) initialize(cfg Config, sync pathoram.SyncPolicy) (Backend, e
 	return b, nil
 }
 
-// recover rebuilds the shard from its checkpoint: authenticate and unseal,
-// replay redo into the bucket files, re-verify against the sealed Merkle
-// roots, restore trusted state.
+// recover rebuilds the shard from its checkpoint chain: authenticate and
+// unseal the base, fold every delta in sequence order (each element's seal
+// authenticates its contents, its Prev hash authenticates its position),
+// replay the accumulated redo into the bucket files, re-verify against the
+// newest sealed Merkle roots, restore trusted state.
 func (p *persister) recover(cfg Config, sync pathoram.SyncPolicy) (Backend, error) {
-	blob, err := os.ReadFile(filepath.Join(p.dir, checkpointFile))
+	// A crash mid-write leaves *.tmp orphans (base.tmp or delta-NNNNNN.tmp);
+	// none is part of the chain, so sweep them before reading it.
+	sweepTemps(p.dir)
+	blob, err := os.ReadFile(filepath.Join(p.dir, baseFile))
 	if err != nil {
 		return nil, err
 	}
 	plain, err := crypt.OpenSealed(p.cipher, blob)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint failed authentication (tampered, truncated or wrong key): %w", err)
+		return nil, fmt.Errorf("checkpoint base failed authentication (tampered, truncated or wrong key): %w", err)
 	}
 	var ps persistedState
 	if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&ps); err != nil {
-		return nil, fmt.Errorf("decoding checkpoint: %w", err)
+		return nil, fmt.Errorf("decoding checkpoint base: %w", err)
 	}
 	if ps.Backend != cfg.Backend {
 		return nil, fmt.Errorf("checkpoint was written by backend %q, daemon configured for %q", ps.Backend, cfg.Backend)
+	}
+	restarts := ps.Restarts
+	p.seq = ps.Seq
+	p.lastHash = sha256.Sum256(blob)
+	p.chainBytes = 0
+	if err := p.foldDeltas(cfg, &ps, &restarts); err != nil {
+		return nil, err
 	}
 	geoms := levelGeometries(cfg)
 	p.stores = make([]*pathoram.FileStorage, len(geoms))
@@ -294,7 +459,7 @@ func (p *persister) recover(cfg Config, sync pathoram.SyncPolicy) (Backend, erro
 			return nil, err
 		}
 	}
-	p.restarts = ps.Restarts + 1
+	p.restarts = restarts + 1
 	factory := func(level int, g pathoram.Geometry) (pathoram.BucketStore, error) {
 		return p.stores[level], nil
 	}
@@ -311,12 +476,96 @@ func (p *persister) recover(cfg Config, sync pathoram.SyncPolicy) (Backend, erro
 	if err != nil {
 		return nil, err
 	}
+	if p.mode == CheckpointDelta {
+		if err := trackDirty(b); err != nil {
+			return nil, err
+		}
+	}
 	// A stale marker can survive a crash between checkpoint rename and
 	// marker removal during initialization; the checkpoint won.
 	os.Remove(filepath.Join(p.dir, initMarker))
 	p.recovered = true
+	p.haveBase = true
 	p.armRetention(cfg)
 	return b, nil
+}
+
+// foldDeltas extends the decoded base with every live delta chain element
+// in sequence order: stale deltas (seq <= base.Seq — leftovers of a crash
+// between compaction's base rename and its delta cleanup) are swept, the
+// live ones must form a contiguous run from base.Seq+1 whose elements
+// authenticate individually (seal) and positionally (Seq + Prev hash).
+// Their trusted-state deltas fold into ps.State and their redo records
+// append to ps.Redo in chain order (replay order matters: a later element's
+// redo must overwrite an earlier one's for buckets both touched). restarts
+// tracks the newest chain element's restart count.
+func (p *persister) foldDeltas(cfg Config, ps *persistedState, restarts *uint64) error {
+	ents, err := os.ReadDir(p.dir)
+	if err != nil {
+		return err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		seq, ok := parseDeltaName(e.Name())
+		if !ok {
+			continue
+		}
+		if seq <= ps.Seq {
+			os.Remove(filepath.Join(p.dir, e.Name()))
+			continue
+		}
+		seqs = append(seqs, seq)
+	}
+	slices.Sort(seqs)
+	for i, seq := range seqs {
+		if want := ps.Seq + 1 + uint64(i); seq != want {
+			return fmt.Errorf("%w: missing %s, found %s", ErrChainGap, deltaName(want), deltaName(seq))
+		}
+		blob, err := os.ReadFile(filepath.Join(p.dir, deltaName(seq)))
+		if err != nil {
+			return err
+		}
+		plain, err := crypt.OpenSealed(p.cipher, blob)
+		if err != nil {
+			return fmt.Errorf("%s failed authentication (tampered, truncated or wrong key): %w", deltaName(seq), err)
+		}
+		var pd persistedDelta
+		if err := gob.NewDecoder(bytes.NewReader(plain)).Decode(&pd); err != nil {
+			return fmt.Errorf("decoding %s: %w", deltaName(seq), err)
+		}
+		if pd.Backend != cfg.Backend {
+			return fmt.Errorf("%s was written by backend %q, daemon configured for %q", deltaName(seq), pd.Backend, cfg.Backend)
+		}
+		if pd.Seq != seq {
+			return fmt.Errorf("%w: %s is sealed as sequence %d", ErrChainOrder, deltaName(seq), pd.Seq)
+		}
+		if pd.Prev != p.lastHash {
+			return fmt.Errorf("%w: %s does not extend its predecessor", ErrChainOrder, deltaName(seq))
+		}
+		if err := pathoram.ApplyDelta(ps.State, pd.Delta); err != nil {
+			return fmt.Errorf("applying %s: %w", deltaName(seq), err)
+		}
+		ps.Redo = append(ps.Redo, pd.Redo...)
+		*restarts = pd.Restarts
+		p.seq = seq
+		p.lastHash = sha256.Sum256(blob)
+		p.chainBytes += int64(len(blob))
+	}
+	return nil
+}
+
+// sweepTemps removes every *.tmp orphan a crash mid-write can leave in a
+// shard directory (base.tmp, delta-NNNNNN.tmp, or PR 8's checkpoint.tmp).
+func sweepTemps(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // armRetention pins dirty pages between checkpoints when a checkpoint
@@ -331,14 +580,36 @@ func (p *persister) armRetention(cfg Config) {
 	}
 }
 
-// checkpoint captures the backend's trusted state and the dirty redo set,
-// seals the blob, renames it into place, then flushes the dirty pages.
+// checkpoint makes the backend's current trusted state durable: a base
+// rewrite in full mode, an O(dirty) chain append in delta mode — except
+// when the chain has no anchor yet (first checkpoint) or has outgrown
+// compactAfter bytes, in which case the compactor folds it into a fresh
+// base. Both paths end with the store flush that unpins the dirty pages.
 func (p *persister) checkpoint(b Backend) error {
-	st, err := captureState(b)
+	start := time.Now()
+	var err error
+	if p.mode == CheckpointDelta && p.haveBase && !p.needCompact() {
+		err = p.writeDelta(b)
+	} else {
+		err = p.writeBase(b)
+	}
 	if err != nil {
 		return err
 	}
-	ps := persistedState{Backend: p.backend, Restarts: p.restarts, State: st}
+	p.ckpts++
+	p.ckptNS += uint64(time.Since(start))
+	return nil
+}
+
+// needCompact reports whether the delta chain passed the compaction
+// threshold (never in full mode, where chainBytes stays zero).
+func (p *persister) needCompact() bool {
+	return p.compactAfter > 0 && p.chainBytes >= p.compactAfter
+}
+
+// captureRedo snapshots every dirty bucket page as redo records.
+func (p *persister) captureRedo() []redoLevel {
+	var redo []redoLevel
 	for i, fs := range p.stores {
 		if fs.DirtyCount() == 0 {
 			continue
@@ -347,17 +618,24 @@ func (p *persister) checkpoint(b Backend) error {
 		fs.DirtyBuckets(func(idx uint64, ct []byte) {
 			rl.Buckets = append(rl.Buckets, redoBucket{Idx: idx, Ciphertext: append([]byte(nil), ct...)})
 		})
-		ps.Redo = append(ps.Redo, rl)
+		redo = append(redo, rl)
 	}
+	return redo
+}
+
+// seal gob-encodes and seals one chain element payload.
+func (p *persister) seal(payload any) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&ps); err != nil {
-		return err
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		return nil, err
 	}
-	blob, err := crypt.Seal(p.cipher, buf.Bytes())
-	if err != nil {
-		return err
-	}
-	tmp := filepath.Join(p.dir, checkpointTemp)
+	return crypt.Seal(p.cipher, buf.Bytes())
+}
+
+// writeBlob writes a sealed chain element under the tmp+rename protocol,
+// fsyncing file and directory per the sync policy.
+func (p *persister) writeBlob(tmpName, finalName string, blob []byte) error {
+	tmp := filepath.Join(p.dir, tmpName)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
 	if err != nil {
 		return err
@@ -375,7 +653,7 @@ func (p *persister) checkpoint(b Backend) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(p.dir, checkpointFile)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(p.dir, finalName)); err != nil {
 		return err
 	}
 	if p.sync != pathoram.SyncNone {
@@ -384,14 +662,76 @@ func (p *persister) checkpoint(b Backend) error {
 			d.Close()
 		}
 	}
-	// The checkpoint is durable; now the buffered bucket writes may reach
-	// the untrusted files (a torn flush is repaired by the redo above).
+	return nil
+}
+
+// flushStores lets the buffered bucket writes reach the untrusted files
+// once the covering chain element is durable (a torn flush is repaired by
+// that element's redo).
+func (p *persister) flushStores() error {
 	for _, fs := range p.stores {
 		if err := fs.Flush(); err != nil {
 			return err
 		}
 	}
-	p.ckpts++
+	return nil
+}
+
+// writeBase captures the full trusted state into a fresh base.bin, resets
+// the chain to it, and sweeps the deltas it folded (a crash between rename
+// and sweep leaves stale deltas that recovery removes by Seq).
+func (p *persister) writeBase(b Backend) error {
+	st, err := captureState(b)
+	if err != nil {
+		return err
+	}
+	ps := persistedState{Backend: p.backend, Restarts: p.restarts, Seq: p.seq, State: st, Redo: p.captureRedo()}
+	blob, err := p.seal(&ps)
+	if err != nil {
+		return err
+	}
+	if err := p.writeBlob(baseTemp, baseFile, blob); err != nil {
+		return err
+	}
+	for seq := ps.Seq; seq > 0; seq-- {
+		if os.Remove(filepath.Join(p.dir, deltaName(seq))) != nil {
+			break // deltas are contiguous; the first miss ends the sweep
+		}
+	}
+	if err := p.flushStores(); err != nil {
+		return err
+	}
+	p.lastHash = sha256.Sum256(blob)
+	p.chainBytes = 0
+	p.haveBase = true
+	p.ckptBytes += uint64(len(blob))
+	return nil
+}
+
+// writeDelta drains the backend's change journals into the next chain
+// element: O(dirty) trusted-state entries plus the dirty-page redo set,
+// sealed and linked to the predecessor by hash.
+func (p *persister) writeDelta(b Backend) error {
+	d, err := captureDelta(b)
+	if err != nil {
+		return err
+	}
+	seq := p.seq + 1
+	pd := persistedDelta{Backend: p.backend, Restarts: p.restarts, Seq: seq, Prev: p.lastHash, Delta: d, Redo: p.captureRedo()}
+	blob, err := p.seal(&pd)
+	if err != nil {
+		return err
+	}
+	if err := p.writeBlob(deltaTempName(seq), deltaName(seq), blob); err != nil {
+		return err
+	}
+	if err := p.flushStores(); err != nil {
+		return err
+	}
+	p.seq = seq
+	p.lastHash = sha256.Sum256(blob)
+	p.chainBytes += int64(len(blob))
+	p.ckptBytes += uint64(len(blob))
 	return nil
 }
 
@@ -420,6 +760,7 @@ func (p *persister) storageStats() pathoram.StorageStats {
 		sum.CacheMisses += s.CacheMisses
 		sum.FileReads += s.FileReads
 		sum.FileWrites += s.FileWrites
+		sum.MMapReads += s.MMapReads
 	}
 	return sum
 }

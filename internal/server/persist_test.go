@@ -37,80 +37,84 @@ func fileStoreCfg(dir, backend string) Config {
 }
 
 // TestFileStoreRoundTrip is the clean-shutdown durability loop for every
-// backend kind: write, close, reopen (recovered), verify, write a second
-// generation, close, reopen, verify both generations.
+// backend kind and both checkpoint modes: write, close, reopen (recovered),
+// verify, write a second generation, close, reopen, verify both generations.
+// In delta mode the second and third boots recover through base + chain.
 func TestFileStoreRoundTrip(t *testing.T) {
-	for _, backend := range []string{BackendFlat, BackendRecursive, BackendBatched} {
-		t.Run(backend, func(t *testing.T) {
-			cfg := fileStoreCfg(t.TempDir(), backend)
-			st, err := New(cfg)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, ss := range st.Stats().Shards {
-				if ss.Recovery != "fresh" {
-					t.Errorf("shard %d boot outcome %q, want fresh", ss.Shard, ss.Recovery)
-				}
-			}
-			payload := func(gen int, addr uint64) []byte {
-				return []byte(fmt.Sprintf("g%d-a%d", gen, addr))
-			}
-			for addr := uint64(0); addr < 64; addr++ {
-				if err := st.Write(addr, payload(1, addr)); err != nil {
-					t.Fatal(err)
-				}
-			}
-			if err := st.Close(); err != nil {
-				t.Fatal(err)
-			}
-
-			st2, err := New(cfg)
-			if err != nil {
-				t.Fatalf("reopening data dir: %v", err)
-			}
-			stats := st2.Stats()
-			for _, ss := range stats.Shards {
-				if ss.Recovery != "recovered" {
-					t.Errorf("shard %d reboot outcome %q, want recovered", ss.Shard, ss.Recovery)
-				}
-			}
-			for addr := uint64(0); addr < 64; addr++ {
-				got, err := st2.Read(addr)
+	for _, mode := range []string{CheckpointFull, CheckpointDelta} {
+		for _, backend := range []string{BackendFlat, BackendRecursive, BackendBatched} {
+			t.Run(mode+"/"+backend, func(t *testing.T) {
+				cfg := fileStoreCfg(t.TempDir(), backend)
+				cfg.CheckpointMode = mode
+				st, err := New(cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
-				if !bytes.HasPrefix(got, payload(1, addr)) {
-					t.Fatalf("addr %d reads %q after recovery, want prefix %q", addr, got, payload(1, addr))
+				for _, ss := range st.Stats().Shards {
+					if ss.Recovery != "fresh" {
+						t.Errorf("shard %d boot outcome %q, want fresh", ss.Shard, ss.Recovery)
+					}
 				}
-			}
-			for addr := uint64(32); addr < 96; addr++ {
-				if err := st2.Write(addr, payload(2, addr)); err != nil {
+				payload := func(gen int, addr uint64) []byte {
+					return []byte(fmt.Sprintf("g%d-a%d", gen, addr))
+				}
+				for addr := uint64(0); addr < 64; addr++ {
+					if err := st.Write(addr, payload(1, addr)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := st.Close(); err != nil {
 					t.Fatal(err)
 				}
-			}
-			if err := st2.Close(); err != nil {
-				t.Fatal(err)
-			}
 
-			st3, err := New(cfg)
-			if err != nil {
-				t.Fatalf("third boot: %v", err)
-			}
-			defer st3.Close()
-			for addr := uint64(0); addr < 96; addr++ {
-				want := payload(1, addr)
-				if addr >= 32 {
-					want = payload(2, addr)
-				}
-				got, err := st3.Read(addr)
+				st2, err := New(cfg)
 				if err != nil {
+					t.Fatalf("reopening data dir: %v", err)
+				}
+				stats := st2.Stats()
+				for _, ss := range stats.Shards {
+					if ss.Recovery != "recovered" {
+						t.Errorf("shard %d reboot outcome %q, want recovered", ss.Shard, ss.Recovery)
+					}
+				}
+				for addr := uint64(0); addr < 64; addr++ {
+					got, err := st2.Read(addr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.HasPrefix(got, payload(1, addr)) {
+						t.Fatalf("addr %d reads %q after recovery, want prefix %q", addr, got, payload(1, addr))
+					}
+				}
+				for addr := uint64(32); addr < 96; addr++ {
+					if err := st2.Write(addr, payload(2, addr)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := st2.Close(); err != nil {
 					t.Fatal(err)
 				}
-				if !bytes.HasPrefix(got, want) {
-					t.Fatalf("addr %d reads %q across two generations, want prefix %q", addr, got, want)
+
+				st3, err := New(cfg)
+				if err != nil {
+					t.Fatalf("third boot: %v", err)
 				}
-			}
-		})
+				defer st3.Close()
+				for addr := uint64(0); addr < 96; addr++ {
+					want := payload(1, addr)
+					if addr >= 32 {
+						want = payload(2, addr)
+					}
+					got, err := st3.Read(addr)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.HasPrefix(got, want) {
+						t.Fatalf("addr %d reads %q across two generations, want prefix %q", addr, got, want)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -158,7 +162,7 @@ func TestFileStoreTamperFailsClosed(t *testing.T) {
 		t.Fatal(err)
 	}
 	bucketFile := filepath.Join(dir, "shard-0000", "level-0.oram")
-	ckptFile := filepath.Join(dir, "shard-0000", "checkpoint.bin")
+	ckptFile := filepath.Join(dir, "shard-0000", "base.bin")
 
 	undo := flipByte(t, bucketFile, -1)
 	if _, err := New(cfg); !errors.Is(err, pathoram.ErrRootMismatch) {
@@ -243,10 +247,14 @@ func TestMemFileEquivalence(t *testing.T) {
 				fileCfg.TraceSlots = true
 				memCfg.TraceSlots = true
 			}
+			deltaCfg := fileStoreCfg(t.TempDir(), backend)
+			deltaCfg.CheckpointMode = CheckpointDelta
+			deltaCfg.TraceSlots = fileCfg.TraceSlots
 			memRes, memTrace := run(memCfg)
 			fileRes, fileTrace := run(fileCfg)
-			if len(memRes) != len(fileRes) {
-				t.Fatalf("op counts diverge: %d vs %d", len(memRes), len(fileRes))
+			deltaRes, deltaTrace := run(deltaCfg)
+			if len(memRes) != len(fileRes) || len(memRes) != len(deltaRes) {
+				t.Fatalf("op counts diverge: mem %d, file %d, delta %d", len(memRes), len(fileRes), len(deltaRes))
 			}
 			for i := range memRes {
 				if (memRes[i].err == nil) != (fileRes[i].err == nil) {
@@ -255,9 +263,15 @@ func TestMemFileEquivalence(t *testing.T) {
 				if !bytes.Equal(memRes[i].data, fileRes[i].data) {
 					t.Fatalf("op %d result diverges between mem and file stores", i)
 				}
+				if (memRes[i].err == nil) != (deltaRes[i].err == nil) || !bytes.Equal(memRes[i].data, deltaRes[i].data) {
+					t.Fatalf("op %d result diverges between mem and delta-checkpointed file stores", i)
+				}
 			}
 			if backend == BackendBatched && !bytes.Equal(memTrace, fileTrace) {
 				t.Fatalf("slot-signature traces diverge between mem and file stores:\nmem  %s\nfile %s", memTrace, fileTrace)
+			}
+			if backend == BackendBatched && !bytes.Equal(memTrace, deltaTrace) {
+				t.Fatalf("slot-signature traces diverge between mem and delta-mode file stores:\nmem   %s\ndelta %s", memTrace, deltaTrace)
 			}
 		})
 	}
@@ -307,6 +321,36 @@ func TestStoreConfigValidation(t *testing.T) {
 	if err := bad.withDefaults().Validate(); err == nil {
 		t.Fatal("unknown store kind must be rejected")
 	}
+	bad = base
+	bad.CheckpointMode = CheckpointDelta
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("CheckpointMode without Store file must be rejected")
+	}
+	bad = base
+	bad.DeltaCompactAfter = 1 << 20
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("DeltaCompactAfter without Store file must be rejected")
+	}
+	bad = base
+	bad.MMap = true
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("MMap without Store file must be rejected")
+	}
+	bad = base
+	bad.Store = StoreFile
+	bad.DataDir = "/tmp/x"
+	bad.CheckpointMode = "incremental"
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("unknown checkpoint mode must be rejected")
+	}
+	bad = base
+	bad.Store = StoreFile
+	bad.DataDir = "/tmp/x"
+	bad.CheckpointMode = CheckpointFull
+	bad.DeltaCompactAfter = 1 << 20
+	if err := bad.withDefaults().Validate(); err == nil {
+		t.Fatal("DeltaCompactAfter in full checkpoint mode must be rejected")
+	}
 
 	ok := base
 	ok.Store = StoreFile
@@ -319,6 +363,18 @@ func TestStoreConfigValidation(t *testing.T) {
 	}
 	if !cfg.Integrity {
 		t.Fatal("the file store must force Integrity on")
+	}
+	if cfg.CheckpointMode != CheckpointFull {
+		t.Fatalf("file-store default checkpoint mode is %q, want %q", cfg.CheckpointMode, CheckpointFull)
+	}
+
+	ok.CheckpointMode = CheckpointDelta
+	cfg = ok.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid delta-mode config rejected: %v", err)
+	}
+	if cfg.DeltaCompactAfter != 4<<20 {
+		t.Fatalf("delta mode default compaction threshold is %d, want %d", cfg.DeltaCompactAfter, 4<<20)
 	}
 }
 
@@ -345,7 +401,246 @@ func TestFileStoreStats(t *testing.T) {
 	if ss.Checkpoints < 1 {
 		t.Errorf("CheckpointEvery=1 store reports %d checkpoints after 64 writes", ss.Checkpoints)
 	}
+	if ss.CheckpointBytes == 0 {
+		t.Errorf("checkpointing store reports checkpoint_bytes=0 after %d checkpoints", ss.Checkpoints)
+	}
+	if ss.CheckpointNS == 0 {
+		t.Errorf("checkpointing store reports checkpoint_ns=0 after %d checkpoints", ss.Checkpoints)
+	}
 	if ss.Recovery != "fresh" {
 		t.Errorf("boot outcome %q, want fresh", ss.Recovery)
+	}
+}
+
+// deltaFiles lists the shard's sealed chain elements in name (= sequence)
+// order.
+func deltaFiles(t *testing.T, shardDir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(shardDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "delta-") && strings.HasSuffix(name, ".bin") {
+			out = append(out, filepath.Join(shardDir, name))
+		}
+	}
+	return out
+}
+
+// TestDeltaChainTamper pins the three fail-closed chain checks: a flipped
+// byte inside a middle delta is caught by the seal's MAC (crypt.ErrAuthFailed),
+// a deleted middle delta leaves a sequence hole (ErrChainGap), and swapping
+// the contents of two deltas breaks the sealed-sequence / predecessor-hash
+// binding (ErrChainOrder). A spliced, reordered, or truncated chain must
+// refuse recovery rather than resurrect stale trusted state.
+func TestDeltaChainTamper(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fileStoreCfg(dir, BackendFlat)
+	cfg.Shards = 1
+	cfg.CheckpointMode = CheckpointDelta
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 16; addr++ {
+		if err := st.Write(addr, []byte{byte(addr)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "shard-0000")
+	chain := deltaFiles(t, shardDir)
+	if len(chain) < 4 {
+		t.Fatalf("CheckpointEvery=1 delta store left %d chain elements after 16 writes, want >= 4", len(chain))
+	}
+	mid := chain[len(chain)/2]
+
+	undo := flipByte(t, mid, -1)
+	if _, err := New(cfg); !errors.Is(err, crypt.ErrAuthFailed) {
+		t.Fatalf("boot over tampered delta: got %v, want ErrAuthFailed", err)
+	}
+	undo()
+
+	saved, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(mid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, ErrChainGap) {
+		t.Fatalf("boot over chain with a deleted middle delta: got %v, want ErrChainGap", err)
+	}
+	if err := os.WriteFile(mid, saved, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	other := chain[len(chain)/2-1]
+	otherSaved, err := os.ReadFile(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mid, otherSaved, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, saved, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, ErrChainOrder) {
+		t.Fatalf("boot over a chain with two deltas swapped: got %v, want ErrChainOrder", err)
+	}
+	if err := os.WriteFile(mid, saved, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(other, otherSaved, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = New(cfg)
+	if err != nil {
+		t.Fatalf("boot after undoing all tampering: %v", err)
+	}
+	defer st.Close()
+	for addr := uint64(0); addr < 16; addr++ {
+		got, err := st.Read(addr)
+		if err != nil || got[0] != byte(addr) {
+			t.Fatalf("addr %d after chain recovery: %v %v", addr, got, err)
+		}
+	}
+}
+
+// TestDeltaCompaction drives a chain past an absurdly low compaction
+// threshold and checks the chain is folded into a fresh base: at most one
+// delta outlives each fold, stale elements are swept, and recovery through
+// the compacted base still sees every write.
+func TestDeltaCompaction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fileStoreCfg(dir, BackendFlat)
+	cfg.Shards = 1
+	cfg.CheckpointMode = CheckpointDelta
+	cfg.DeltaCompactAfter = 1 // every delta trips the fold on the next checkpoint
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 32; addr++ {
+		if err := st.Write(addr, []byte{byte(addr)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "shard-0000")
+	if chain := deltaFiles(t, shardDir); len(chain) > 1 {
+		t.Fatalf("compact-after=1 chain holds %d deltas after close, want <= 1: %v", len(chain), chain)
+	}
+	if _, err := os.Stat(filepath.Join(shardDir, "base.bin")); err != nil {
+		t.Fatalf("compacted store has no base: %v", err)
+	}
+
+	st, err = New(cfg)
+	if err != nil {
+		t.Fatalf("boot after compaction: %v", err)
+	}
+	defer st.Close()
+	for addr := uint64(0); addr < 32; addr++ {
+		got, err := st.Read(addr)
+		if err != nil || got[0] != byte(addr) {
+			t.Fatalf("addr %d after compacted recovery: %v %v", addr, got, err)
+		}
+	}
+}
+
+// TestLegacyCheckpointMigration checks that a data dir written under the old
+// single-file protocol (checkpoint.bin) boots under the chain protocol: the
+// file is adopted as the sequence-0 base.
+func TestLegacyCheckpointMigration(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fileStoreCfg(dir, BackendFlat)
+	cfg.Shards = 1
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 8; addr++ {
+		if err := st.Write(addr, []byte{byte(addr)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "shard-0000")
+	if err := os.Rename(filepath.Join(shardDir, "base.bin"), filepath.Join(shardDir, "checkpoint.bin")); err != nil {
+		t.Fatal(err)
+	}
+	st, err = New(cfg)
+	if err != nil {
+		t.Fatalf("boot over a legacy checkpoint.bin: %v", err)
+	}
+	defer st.Close()
+	if ss := st.Stats().Shards[0]; ss.Recovery != "recovered" {
+		t.Fatalf("legacy boot outcome %q, want recovered", ss.Recovery)
+	}
+	for addr := uint64(0); addr < 8; addr++ {
+		got, err := st.Read(addr)
+		if err != nil || got[0] != byte(addr) {
+			t.Fatalf("addr %d after legacy migration: %v %v", addr, got, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(shardDir, "checkpoint.bin")); !os.IsNotExist(err) {
+		t.Fatalf("legacy checkpoint.bin still present after migration (stat err %v)", err)
+	}
+}
+
+// TestFileStoreMMap runs a write/read/recover loop with mmap bucket reads
+// enabled and checks the mapping actually serves reads (MMapReads > 0) while
+// results stay correct — dirty cached pages must shadow the mapping.
+func TestFileStoreMMap(t *testing.T) {
+	if !pathoram.MMapSupported {
+		t.Skip("mmap bucket reads unsupported on this platform")
+	}
+	cfg := fileStoreCfg(t.TempDir(), BackendFlat)
+	cfg.Shards = 1
+	cfg.MMap = true
+	cfg.CacheBuckets = 8 // tiny cache so clean reads fall through to the mapping
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for addr := uint64(0); addr < 64; addr++ {
+		if err := st.Write(addr, []byte{byte(addr)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for addr := uint64(0); addr < 64; addr++ {
+		got, err := st.Read(addr)
+		if err != nil || got[0] != byte(addr) {
+			t.Fatalf("addr %d through mmap store: %v %v", addr, got, err)
+		}
+	}
+	if ss := st.Stats().Shards[0]; ss.MMapReads == 0 {
+		t.Error("mmap-enabled store served no reads from the mapping")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err = New(cfg)
+	if err != nil {
+		t.Fatalf("recovery with mmap enabled: %v", err)
+	}
+	defer st.Close()
+	for addr := uint64(0); addr < 64; addr++ {
+		got, err := st.Read(addr)
+		if err != nil || got[0] != byte(addr) {
+			t.Fatalf("addr %d after mmap recovery: %v %v", addr, got, err)
+		}
 	}
 }

@@ -47,6 +47,13 @@ const (
 	// StoreMem keeps each shard's bucket tree in RAM (the untrusted-DRAM
 	// model of the paper): fastest, nothing survives the process.
 	StoreMem = "mem"
+	// CheckpointFull rewrites base.bin (the whole sealed trusted state) on
+	// every checkpoint — PR 8's protocol, the default.
+	CheckpointFull = "full"
+	// CheckpointDelta appends an O(dirty) hash-linked delta chain element
+	// per checkpoint, compacted into a fresh base past DeltaCompactAfter.
+	CheckpointDelta = "delta"
+
 	// StoreFile keeps each shard's bucket tree in fixed-offset files under
 	// Config.DataDir, with an LRU page cache, sealed trusted-state
 	// checkpoints and fail-closed crash recovery.
@@ -130,6 +137,21 @@ type Config struct {
 	// consistency against process death, not power loss), "checkpoint"
 	// (fsync at checkpoint boundaries) or "always".
 	Sync string
+	// CheckpointMode selects the checkpoint strategy: CheckpointFull
+	// (default) rewrites the whole sealed trusted state every checkpoint;
+	// CheckpointDelta appends O(dirty) chain elements (base.bin +
+	// delta-NNNNNN.bin, hash-linked) so cadence-1 durability does not
+	// rewrite the full position map per slot.
+	CheckpointMode string
+	// DeltaCompactAfter folds the delta chain into a fresh base once the
+	// accumulated sealed delta bytes pass this threshold (delta mode only;
+	// default 4 MiB). Bounds recovery replay and chain storage.
+	DeltaCompactAfter int64
+	// MMap serves clean bucket reads from a read-only mapping of each
+	// bucket file instead of copying pages into the cache — the read path
+	// for bucket files bigger than the page cache. Writes still buffer in
+	// pinned dirty pages (the checkpoint redo invariant). Unix-only.
+	MMap bool
 
 	// ClockHz is the wall-clock frequency of the enforcer's cycle domain in
 	// cycles per second (default 1_000_000: one cycle per microsecond).
@@ -208,6 +230,12 @@ func (c Config) withDefaults() Config {
 		}
 		if c.Sync == "" {
 			c.Sync = "none"
+		}
+		if c.CheckpointMode == "" {
+			c.CheckpointMode = CheckpointFull
+		}
+		if c.CheckpointMode == CheckpointDelta && c.DeltaCompactAfter == 0 {
+			c.DeltaCompactAfter = 4 << 20
 		}
 	}
 	if c.ClockHz == 0 {
@@ -293,6 +321,15 @@ func (c Config) Validate() error {
 		if c.CheckpointEvery != 0 {
 			return fmt.Errorf("server: CheckpointEvery requires Store %q", StoreFile)
 		}
+		if c.CheckpointMode != "" {
+			return fmt.Errorf("server: CheckpointMode requires Store %q", StoreFile)
+		}
+		if c.DeltaCompactAfter != 0 {
+			return fmt.Errorf("server: DeltaCompactAfter requires Store %q", StoreFile)
+		}
+		if c.MMap {
+			return fmt.Errorf("server: MMap requires Store %q", StoreFile)
+		}
 		// The RAM store backs each tree with one contiguous allocation; the
 		// cap that used to be a constructor panic is rejected here with an
 		// actionable error instead of surfacing from shard construction.
@@ -319,6 +356,18 @@ func (c Config) Validate() error {
 		}
 		if _, err := pathoram.ParseSyncPolicy(c.Sync); err != nil {
 			return fmt.Errorf("server: %w", err)
+		}
+		switch c.CheckpointMode {
+		case "", CheckpointFull:
+			if c.DeltaCompactAfter != 0 {
+				return fmt.Errorf("server: DeltaCompactAfter requires CheckpointMode %q", CheckpointDelta)
+			}
+		case CheckpointDelta:
+			if c.DeltaCompactAfter < 0 {
+				return fmt.Errorf("server: DeltaCompactAfter must not be negative, got %d", c.DeltaCompactAfter)
+			}
+		default:
+			return fmt.Errorf("server: unknown CheckpointMode %q (want %q or %q)", c.CheckpointMode, CheckpointFull, CheckpointDelta)
 		}
 	default:
 		return fmt.Errorf("server: unknown Store %q (want %q or %q)", c.Store, StoreMem, StoreFile)
@@ -653,16 +702,23 @@ type ShardStats struct {
 	Failed bool `json:"failed,omitempty"`
 	// Store-tier counters, populated only for file-backed shards.
 	// CacheHits/CacheMisses count bucket page cache lookups; FileReads and
-	// FileWrites count bucket-sized file IOs; Checkpoints counts sealed
-	// trusted-state checkpoints written. Recovery reports the shard's boot
-	// outcome: "fresh" (new data dir) or "recovered" (rebuilt from a
-	// checkpoint after a restart).
-	CacheHits   uint64 `json:"cache_hits,omitempty"`
-	CacheMisses uint64 `json:"cache_misses,omitempty"`
-	FileReads   uint64 `json:"file_reads,omitempty"`
-	FileWrites  uint64 `json:"file_writes,omitempty"`
-	Checkpoints uint64 `json:"checkpoints,omitempty"`
-	Recovery    string `json:"recovery,omitempty"`
+	// FileWrites count bucket-sized file IOs; MMapReads counts clean-bucket
+	// reads served straight from the file mapping (MMap mode); Checkpoints
+	// counts sealed trusted-state checkpoints written, CheckpointBytes the
+	// total sealed bytes they wrote and CheckpointNS the total wall time
+	// they took — together they make full-vs-delta amortization visible
+	// (delta mode writes O(dirty) bytes per checkpoint instead of
+	// O(state)). Recovery reports the shard's boot outcome: "fresh" (new
+	// data dir) or "recovered" (rebuilt from a checkpoint after a restart).
+	CacheHits       uint64 `json:"cache_hits,omitempty"`
+	CacheMisses     uint64 `json:"cache_misses,omitempty"`
+	FileReads       uint64 `json:"file_reads,omitempty"`
+	FileWrites      uint64 `json:"file_writes,omitempty"`
+	MMapReads       uint64 `json:"mmap_reads,omitempty"`
+	Checkpoints     uint64 `json:"checkpoints,omitempty"`
+	CheckpointBytes uint64 `json:"checkpoint_bytes,omitempty"`
+	CheckpointNS    uint64 `json:"checkpoint_ns,omitempty"`
+	Recovery        string `json:"recovery,omitempty"`
 }
 
 // Totals sums access counts across shards.

@@ -82,7 +82,10 @@ type shard struct {
 	storeMisses atomic.Uint64
 	storeReads  atomic.Uint64
 	storeWrites atomic.Uint64
+	storeMMap   atomic.Uint64
 	ckpts       atomic.Uint64
+	ckptBytes   atomic.Uint64
+	ckptNS      atomic.Uint64
 }
 
 // doneEntry is a served request whose completion is deferred until the
@@ -262,6 +265,8 @@ func (sh *shard) shutdownPersist() {
 		sh.failed.Store(true)
 	}
 	sh.ckpts.Store(sh.persist.ckpts)
+	sh.ckptBytes.Store(sh.persist.ckptBytes)
+	sh.ckptNS.Store(sh.persist.ckptNS)
 }
 
 // finish delivers a result now, or parks it until the covering checkpoint
@@ -512,7 +517,10 @@ func (sh *shard) publishStats() {
 		sh.storeMisses.Store(st.CacheMisses)
 		sh.storeReads.Store(st.FileReads)
 		sh.storeWrites.Store(st.FileWrites)
+		sh.storeMMap.Store(st.MMapReads)
 		sh.ckpts.Store(sh.persist.ckpts)
+		sh.ckptBytes.Store(sh.persist.ckptBytes)
+		sh.ckptNS.Store(sh.persist.ckptNS)
 	}
 }
 
@@ -536,7 +544,10 @@ func (sh *shard) stats() ShardStats {
 		CacheMisses:     sh.storeMisses.Load(),
 		FileReads:       sh.storeReads.Load(),
 		FileWrites:      sh.storeWrites.Load(),
+		MMapReads:       sh.storeMMap.Load(),
 		Checkpoints:     sh.ckpts.Load(),
+		CheckpointBytes: sh.ckptBytes.Load(),
+		CheckpointNS:    sh.ckptNS.Load(),
 		Recovery:        sh.recovery,
 	}
 	if p := sh.levelPeaks.Load(); p != nil {
