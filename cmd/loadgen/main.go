@@ -24,9 +24,18 @@
 //	loadgen -oram recursive -integrity -olat 300 -rates 2700
 //
 // The batched backend serves up to k distinct blocks per slot and amortizes
-// write-back into a deterministic eviction pass every K slots:
+// write-back into a deterministic eviction pass every K slots; -batch rides
+// the batch_read verb so k client addresses travel in one request and can be
+// served by one slot:
 //
-//	loadgen -oram batched -batch-k 4 -evict-every 4 -olat 100 -rates 400
+//	loadgen -oram batched -batch-k 4 -evict-every 4 -olat 100 -rates 400 -batch 4
+//
+// The cdsi scenario emulates an oblivious contact-discovery service — hot-key
+// zipf skew, 2% writes — and pairs with client-side WAN shaping and tenant
+// attribution for a production-shaped run:
+//
+//	loadgen -scenario cdsi -batch 4 -tenant alice \
+//	        -tenant-budgets alice=32,bob=64 -wan-kbps 256 -wan-rtt 40ms
 package main
 
 import (
@@ -44,53 +53,37 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "", "daemon address; empty = start an in-process oramd")
-		scenario   = flag.String("scenario", "all", "uniform | zipf | read-mostly | scan | bursty | onoff | ramp | all (comma-separable)")
-		clients    = flag.Int("clients", 8, "concurrent clients")
-		ops        = flag.Int("ops", 500, "operations per client")
-		blocks     = flag.Uint64("blocks", 4096, "address space to exercise (must fit the server)")
-		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block (must match the server)")
-		seed       = flag.Int64("seed", 1, "workload seed")
-		retries    = flag.Int("retries", 4, "attempts per operation across connection loss: a dropped daemon/proxy connection is redialed with backoff instead of failing the run")
-		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-
-		// In-process server shape (ignored with -addr).
-		shards     = flag.Int("shards", 4, "in-process: shard count")
-		oram       = flag.String("oram", "flat", "in-process: per-shard ORAM backend: flat | recursive | batched")
-		recursion  = flag.Int("recursion", 3, "in-process: position-map ORAM levels for -oram=recursive (batched defaults to 0)")
-		integrity  = flag.Bool("integrity", false, "in-process: Merkle-verify every level's untrusted storage")
-		batchK     = flag.Int("batch-k", 4, "in-process: batched blocks fetched per slot (public parameter k)")
-		evictEvery = flag.Int("evict-every", 4, "in-process: slots between batched eviction passes (public parameter K)")
-		rates      = flag.String("rates", "85", "in-process: comma-separated rate set (cycles, ascending; one value = static)")
-		olat       = flag.Uint64("olat", 15, "in-process: ORAM latency in cycles")
-		epochLen   = flag.Uint64("epoch", 0, "in-process: first epoch length in cycles (0 = static rate)")
-		growth     = flag.Uint64("growth", 4, "in-process: epoch length growth factor")
-		leakBudget = flag.Float64("leak-budget", 0, "in-process: leakage budget in bits across shards (0 = account only)")
+		addr     = flag.String("addr", "", "daemon address; empty = start an in-process oramd")
+		scenario = flag.String("scenario", "all", "uniform | zipf | read-mostly | scan | bursty | onoff | ramp | cdsi | all (comma-separable)")
+		clients  = flag.Int("clients", 8, "concurrent clients")
+		ops      = flag.Int("ops", 500, "operations per client")
+		retries  = flag.Int("retries", 4, "attempts per operation across connection loss: a dropped daemon/proxy connection is redialed with backoff instead of failing the run")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		batch    = flag.Int("batch", 1, "reads per batch_read request: consecutive reads coalesce into one wire round trip of up to this many addresses (1 = single-op verbs)")
+		tenant   = flag.String("tenant", "", "tenant name stamped on every request (pairs with the server's -tenant-budgets)")
+		wanKBps  = flag.Int("wan-kbps", 0, "WAN shaping: serialize each operation's request and response bytes over an emulated link of this bandwidth (0 = off)")
+		wanRTT   = flag.Duration("wan-rtt", 0, "WAN shaping: round-trip propagation delay added to every operation")
 	)
+	// The shared store surface doubles as the workload surface: -blocks,
+	// -block-bytes and -seed shape the generated operations whether or not
+	// the in-process server is the one serving them.
+	sf := server.NewStoreFlags(flag.CommandLine, server.StoreFlagOptions{
+		Note:            "in-process: ",
+		Blocks:          4096,
+		BlocksUsage:     "address space to exercise (must fit the server; sizes the in-process one)",
+		BlockBytesUsage: "payload bytes per block (must match the server)",
+		SeedUsage:       "workload seed (also seeds the in-process server)",
+	})
 	flag.Parse()
+
+	cfg, err := sf.Config()
+	if err != nil {
+		fatal(err)
+	}
 
 	target := *addr
 	if target == "" {
-		rateSet, err := server.ParseRates(*rates)
-		if err != nil {
-			fatal(err)
-		}
-		st, err := server.New(server.Config{
-			Shards:            *shards,
-			Blocks:            *blocks,
-			BlockBytes:        *blockBytes,
-			Backend:           *oram,
-			Recursion:         effectiveRecursion(*oram, *recursion),
-			Integrity:         *integrity,
-			BatchK:            *batchK,
-			EvictEvery:        *evictEvery,
-			ClockHz:           1_000_000,
-			ORAMLatency:       *olat,
-			Rates:             rateSet,
-			EpochFirstLen:     *epochLen,
-			EpochGrowth:       *growth,
-			LeakageBudgetBits: *leakBudget,
-		})
+		st, err := server.New(cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -103,16 +96,21 @@ func main() {
 		go server.Serve(l, st)
 		target = l.Addr().String()
 		mode := "static"
-		if *epochLen > 0 {
-			mode = fmt.Sprintf("dynamic epochs (first %d, growth %d)", *epochLen, *growth)
+		if cfg.EpochFirstLen > 0 {
+			mode = fmt.Sprintf("dynamic epochs (first %d, growth %d)", cfg.EpochFirstLen, cfg.EpochGrowth)
 		}
 		fmt.Printf("loadgen: started in-process oramd (%d %s shards, rates %v, %s) on %s\n",
-			*shards, st.Config().BackendLabel(), rateSet, mode, target)
+			cfg.Shards, st.Config().BackendLabel(), cfg.Rates, mode, target)
 	}
 
 	scenarios, err := pickScenarios(*scenario)
 	if err != nil {
 		fatal(err)
+	}
+
+	wan := server.WANConfig{KBps: *wanKBps, RTT: *wanRTT}
+	if wan.Enabled() {
+		fmt.Printf("loadgen: WAN shaping on — %d KB/s link, %v RTT per client\n", *wanKBps, *wanRTT)
 	}
 
 	// Every connection is a retrying client: a daemon or proxy restart under
@@ -147,9 +145,12 @@ func main() {
 				Scenario:     sc,
 				Clients:      *clients,
 				OpsPerClient: *ops,
-				Blocks:       *blocks,
-				BlockBytes:   *blockBytes,
-				Seed:         *seed,
+				Blocks:       cfg.Blocks,
+				BlockBytes:   cfg.BlockBytes,
+				Seed:         cfg.Seed,
+				Tenant:       *tenant,
+				BatchSize:    *batch,
+				WAN:          wan,
 			})
 		for _, c := range conns {
 			c.Close()
@@ -180,6 +181,10 @@ func main() {
 		if warning, ok := final.SlipWarning(); ok {
 			fmt.Printf("loadgen: %s\n", warning)
 		}
+		for _, ts := range final.Tenants {
+			fmt.Printf("loadgen: tenant %q leaked %.1f bits over %d transitions (budget %.1f, exceeded %v)\n",
+				ts.Tenant, ts.LeakedBits, ts.Transitions, ts.BudgetBits, ts.Exceeded)
+		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d scenario(s) had lost or corrupted operations\n", failures)
@@ -206,22 +211,6 @@ func pickScenarios(s string) ([]workload.KVScenario, error) {
 		out = append(out, sc)
 	}
 	return out, nil
-}
-
-// effectiveRecursion mirrors oramd's handling of the -recursion default: its
-// value of 3 is tuned for -oram recursive, so a plain `-oram batched` gets a
-// flat position map unless -recursion was passed explicitly.
-func effectiveRecursion(backend string, recursion int) int {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "recursion" {
-			set = true
-		}
-	})
-	if backend == server.BackendBatched && !set {
-		return 0
-	}
-	return recursion
 }
 
 func fatal(err error) {

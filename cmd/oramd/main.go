@@ -11,6 +11,7 @@
 //	      -blocks 1048576 -rates 2700                    # recursive stacks, Merkle-verified
 //	oramd -addr :7312 -oram batched -batch-k 4 \
 //	      -evict-every 4 -olat 100 -rates 400            # k blocks per slot, deferred eviction
+//	oramd -addr :7312 -tenant-budgets alice=32,bob=64    # per-tenant leakage sub-budgets
 //	oramd -addr :7312 -unpaced                           # no timing protection
 //
 // The -stats control verb turns oramd into a client of a running daemon (or
@@ -35,36 +36,10 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7312", "listen address")
-		shards     = flag.Int("shards", 4, "number of independent ORAM shards")
-		blocks     = flag.Uint64("blocks", 65536, "total address space in blocks")
-		blockBytes = flag.Int("block-bytes", 64, "payload bytes per block")
-		z          = flag.Int("z", 3, "bucket capacity Z")
-		oram       = flag.String("oram", "flat", "per-shard ORAM backend: flat | recursive | batched")
-		recursion  = flag.Int("recursion", 3, "position-map ORAM levels for -oram=recursive (batched defaults to 0)")
-		integrity  = flag.Bool("integrity", false, "Merkle-verify every level's untrusted storage")
-		batchK     = flag.Int("batch-k", 4, "batched: distinct blocks fetched per slot (public parameter k)")
-		evictEvery = flag.Int("evict-every", 4, "batched: slots between deterministic eviction passes (public parameter K)")
-		batchHW    = flag.Int("batch-highwater", 0, "batched: stash high-water mark forcing an early eviction pass (0 = default)")
-		queue      = flag.Int("queue", 256, "per-shard request queue depth")
-		seed       = flag.Int64("seed", 1, "deterministic construction seed")
-		hz         = flag.Uint64("hz", 1_000_000, "enforcer cycle frequency (cycles/s)")
-		olat       = flag.Uint64("olat", 15, "ORAM access latency in cycles")
-		rates      = flag.String("rates", "85", "comma-separated allowed rate set (cycles, ascending)")
-		epochLen   = flag.Uint64("epoch", 0, "first epoch length in cycles (0 = static rate)")
-		growth     = flag.Uint64("growth", 4, "epoch length growth factor")
-		leakBudget = flag.Float64("leak-budget", 0, "session leakage budget in bits across all shards (0 = account only)")
-		unpaced    = flag.Bool("unpaced", false, "disable rate enforcement (no dummies; leaks timing)")
-		store      = flag.String("store", "mem", "untrusted bucket storage: mem | file (file implies -integrity)")
-		dataDir    = flag.String("data-dir", "", "file store root directory (per-shard subdirectories; required with -store file)")
-		ckptEvery  = flag.Int("checkpoint-every", 0, "file store: sealed checkpoint every N served slots (1 = durable acks, 0 = shutdown only)")
-		cacheBkts  = flag.Int("cache-buckets", 0, "file store: bucket page cache size per level (0 = default 1024)")
-		syncPolicy = flag.String("sync", "none", "file store fsync policy: none | checkpoint | always")
-		ckptMode   = flag.String("checkpoint-mode", "", "file store checkpoint strategy: full (rewrite base.bin each time; default) | delta (append O(dirty) hash-linked delta chain elements)")
-		compactAt  = flag.Int64("delta-compact-after", 0, "delta mode: fold the chain into a fresh base once sealed delta bytes pass this threshold (0 = default 4 MiB)")
-		mmapReads  = flag.Bool("mmap", false, "file store: serve clean bucket reads from a read-only mmap of each bucket file (unix only)")
-		statsVerb  = flag.Bool("stats", false, "control verb: poll the daemon at -addr for its stats snapshot, print JSON, exit")
+		addr      = flag.String("addr", "127.0.0.1:7312", "listen address")
+		statsVerb = flag.Bool("stats", false, "control verb: poll the daemon at -addr for its stats snapshot, print JSON, exit")
 	)
+	sf := server.NewStoreFlags(flag.CommandLine, server.StoreFlagOptions{Storage: true})
 	flag.Parse()
 
 	if *statsVerb {
@@ -74,38 +49,9 @@ func main() {
 		return
 	}
 
-	rateSet, err := server.ParseRates(*rates)
+	cfg, err := sf.Config()
 	if err != nil {
 		fatal(err)
-	}
-	cfg := server.Config{
-		Shards:            *shards,
-		Blocks:            *blocks,
-		BlockBytes:        *blockBytes,
-		Z:                 *z,
-		Backend:           *oram,
-		Recursion:         effectiveRecursion(*oram, *recursion),
-		Integrity:         *integrity,
-		BatchK:            *batchK,
-		EvictEvery:        *evictEvery,
-		BatchHighWater:    *batchHW,
-		QueueDepth:        *queue,
-		Seed:              *seed,
-		ClockHz:           *hz,
-		ORAMLatency:       *olat,
-		Rates:             rateSet,
-		EpochFirstLen:     *epochLen,
-		EpochGrowth:       *growth,
-		LeakageBudgetBits: *leakBudget,
-		Unpaced:           *unpaced,
-		Store:             *store,
-		DataDir:           *dataDir,
-		CheckpointEvery:   *ckptEvery,
-		CacheBuckets:      *cacheBkts,
-		Sync:              *syncPolicy,
-		CheckpointMode:    *ckptMode,
-		DeltaCompactAfter: *compactAt,
-		MMap:              *mmapReads,
 	}
 	st, err := server.New(cfg)
 	if err != nil {
@@ -125,6 +71,9 @@ func main() {
 	}
 	fmt.Printf("oramd: serving %d blocks × %d B over %d %s shards on %s — %s\n",
 		eff.Blocks, eff.BlockBytes, eff.Shards, eff.BackendLabel(), l.Addr(), mode)
+	if len(eff.TenantBudgets) > 0 {
+		fmt.Printf("oramd: enforcing %d per-tenant leakage sub-budgets\n", len(eff.TenantBudgets))
+	}
 	if eff.Store == server.StoreFile {
 		recovered := 0
 		for _, ss := range st.Stats().Shards {
@@ -160,6 +109,10 @@ func main() {
 		if warning, ok := stats.SlipWarning(); ok {
 			fmt.Printf("oramd: %s\n", warning)
 		}
+		for _, ts := range stats.Tenants {
+			fmt.Printf("oramd: tenant %q leaked %.1f bits over %d transitions (budget %.1f, exceeded %v)\n",
+				ts.Tenant, ts.LeakedBits, ts.Transitions, ts.BudgetBits, ts.Exceeded)
+		}
 	}
 }
 
@@ -182,24 +135,6 @@ func pollStats(addr string) error {
 	}
 	fmt.Println(string(out))
 	return nil
-}
-
-// effectiveRecursion resolves the -recursion flag against the chosen backend.
-// The flag's default of 3 is tuned for -oram recursive; forwarding it blindly
-// would silently turn a plain `-oram batched` into a 3-level recursive stack,
-// so the batched backend gets a flat position map unless -recursion was
-// passed explicitly on the command line.
-func effectiveRecursion(backend string, recursion int) int {
-	set := false
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "recursion" {
-			set = true
-		}
-	})
-	if backend == server.BackendBatched && !set {
-		return 0
-	}
-	return recursion
 }
 
 func fatal(err error) {

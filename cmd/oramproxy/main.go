@@ -45,7 +45,6 @@ func main() {
 		mapCheck     = flag.String("map-check", "", "expected node-map fingerprint; refuse to start if the -nodes/-replicas map differs (guards against list drift)")
 		conns        = flag.Int("conns", 2, "pipelined connections per node")
 		blocks       = flag.Uint64("blocks", 0, "served address space in blocks (0 = all the topology holds: nodes × smallest node / replicas)")
-		leakBudget   = flag.Float64("leak-budget", 0, "cluster-wide leakage budget in bits across all nodes' shards (0 = account only)")
 		probeEvery   = flag.Duration("probe-every", 250*time.Millisecond, "health-probe period: failing nodes are ejected from reads and reinstated when they answer again")
 		retries      = flag.Int("retries", 3, "full passes over an address's replica set before an operation fails")
 		prevNodes    = flag.String("prev-nodes", "", "previous topology's node list: migrate every block from it to -nodes while serving (requires -prev-epoch < -epoch)")
@@ -53,11 +52,16 @@ func main() {
 		prevReplicas = flag.Int("prev-replicas", 0, "previous topology's replication factor (0 = 1)")
 		migrateEvery = flag.Duration("migrate-every", time.Millisecond, "public migration rate: one block copied from the previous topology per tick")
 	)
+	budget := server.NewBudgetFlags(flag.CommandLine, "", "cluster-wide, across all nodes' shards")
 	flag.Parse()
 
 	nodeList, err := cluster.ParseNodes(*nodes)
 	if err != nil {
 		fatal(fmt.Errorf("%w (set -nodes)", err))
+	}
+	leakBudget, tenantBudgets, err := budget.Parse()
+	if err != nil {
+		fatal(err)
 	}
 	cfg := cluster.Config{
 		Nodes:             nodeList,
@@ -66,7 +70,8 @@ func main() {
 		ExpectFingerprint: *mapCheck,
 		ConnsPerNode:      *conns,
 		Blocks:            *blocks,
-		LeakageBudgetBits: *leakBudget,
+		LeakageBudgetBits: leakBudget,
+		TenantBudgets:     tenantBudgets,
 		ProbeEvery:        *probeEvery,
 		RetryAttempts:     *retries,
 		MigrateEvery:      *migrateEvery,
@@ -90,6 +95,9 @@ func main() {
 	}
 	fmt.Printf("oramproxy: routing %d blocks × %d B across %d nodes on %s (epoch %d, %d replicas, map %s, %d conns/node)\n",
 		r.Blocks(), r.BlockBytes(), r.Nodes(), l.Addr(), r.Epoch(), *replicas, r.Fingerprint(), *conns)
+	if len(tenantBudgets) > 0 {
+		fmt.Printf("oramproxy: enforcing %d per-tenant leakage sub-budgets cluster-wide\n", len(tenantBudgets))
+	}
 	if *prevNodes != "" {
 		fmt.Printf("oramproxy: migrating from epoch %d (%d nodes) at one block per %v\n",
 			*prevEpoch, len(cfg.PrevNodes), *migrateEvery)
@@ -129,6 +137,10 @@ func main() {
 		fmt.Printf("oramproxy: %s\n", stats.LeakageSummary())
 		if warning, ok := stats.SlipWarning(); ok {
 			fmt.Printf("oramproxy: %s\n", warning)
+		}
+		for _, ts := range stats.Tenants {
+			fmt.Printf("oramproxy: tenant %q leaked %.1f bits over %d transitions (budget %.1f, exceeded %v)\n",
+				ts.Tenant, ts.LeakedBits, ts.Transitions, ts.BudgetBits, ts.Exceeded)
 		}
 	}
 }

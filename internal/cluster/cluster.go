@@ -91,6 +91,12 @@ type Config struct {
 	// bits: the summed per-node leakage is judged against this one number in
 	// aggregated stats. Zero means account but never flag.
 	LeakageBudgetBits float64
+	// TenantBudgets assigns per-tenant leakage sub-budgets in bits,
+	// enforced cluster-wide: each tenant's account sums its attribution
+	// across every node's shards, and a tenant over its sub-budget is
+	// refused at the proxy with CodeTenantBudget while the others keep
+	// being served. Nil means single-tenant operation.
+	TenantBudgets map[string]float64
 	// ProbeEvery is the health-probe interval: every node is pinged on this
 	// period, failing nodes are ejected from the read path and reinstated
 	// when they answer again. 0 defaults to 250ms; negative disables the
@@ -168,6 +174,14 @@ func (c Config) Validate() error {
 	}
 	if c.LeakageBudgetBits < 0 {
 		return fmt.Errorf("cluster: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
+	}
+	for name, bits := range c.TenantBudgets {
+		if name == "" {
+			return fmt.Errorf("cluster: TenantBudgets names the empty tenant")
+		}
+		if bits < 0 {
+			return fmt.Errorf("cluster: TenantBudgets[%q] must not be negative, got %v", name, bits)
+		}
 	}
 	if c.RetryAttempts < 0 {
 		return fmt.Errorf("cluster: RetryAttempts must not be negative, got %d", c.RetryAttempts)

@@ -175,7 +175,7 @@ func (r *Router) migrator(every time.Duration) {
 			if scrub < r.target {
 				// Fresh addresses are not yet servable (check() caps at the
 				// shared space), so no gate is needed: the scrub races no one.
-				if r.writeVia(&r.cur, scrub, zero) == nil {
+				if r.writeVia(&r.cur, "", scrub, zero) == nil {
 					scrub++
 				}
 				continue
@@ -209,9 +209,9 @@ func (r *Router) migrateStep() (done bool) {
 	g := r.gate(addr)
 	g.Lock()
 	defer g.Unlock()
-	data, err := r.readVia(r.prev, addr)
+	data, err := r.readVia(r.prev, "", addr)
 	if err == nil {
-		err = r.writeVia(&r.cur, addr, data)
+		err = r.writeVia(&r.cur, "", addr, data)
 	}
 	if err != nil {
 		return false

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,13 @@ type Router struct {
 	migrateEnd uint64
 	copied     atomic.Uint64
 	gates      [gateCount]sync.RWMutex
+
+	// tenantLeaks caches the cluster-wide per-tenant leaked bits (summed
+	// over every node's attribution), refreshed by the prober and by every
+	// stats poll. Admission reads the cache instead of fanning a stats
+	// round-trip onto every data op; nil until the first refresh, during
+	// which all tenants are admitted.
+	tenantLeaks atomic.Pointer[map[string]float64]
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -226,38 +234,186 @@ func (r *Router) topoFor(addr uint64) *topology {
 
 func (r *Router) check(addr uint64) error {
 	if served := r.served.Load(); addr >= served {
-		return fmt.Errorf("cluster: address %d out of range (%d blocks)", addr, served)
+		return server.Errorf(server.CodeOutOfRange, "cluster: address %d out of range (%d blocks)", addr, served)
 	}
 	return nil
 }
 
 // Read fetches a block from the first healthy replica of its owning set.
 func (r *Router) Read(addr uint64) ([]byte, error) {
+	return r.TenantRead("", addr)
+}
+
+// Write stores a block on every replica of its owning set.
+func (r *Router) Write(addr uint64, data []byte) error {
+	return r.TenantWrite("", addr, data)
+}
+
+// TenantRead is Read charged to tenant's cluster-wide leakage sub-budget.
+func (r *Router) TenantRead(tenant string, addr uint64) ([]byte, error) {
 	if err := r.check(addr); err != nil {
+		return nil, err
+	}
+	if err := r.admitTenant(tenant); err != nil {
 		return nil, err
 	}
 	g := r.gate(addr)
 	g.RLock()
 	defer g.RUnlock()
-	return r.readVia(r.topoFor(addr), addr)
+	return r.readVia(r.topoFor(addr), tenant, addr)
 }
 
-// Write stores a block on every replica of its owning set.
-func (r *Router) Write(addr uint64, data []byte) error {
+// TenantWrite is Write charged to tenant's cluster-wide sub-budget.
+func (r *Router) TenantWrite(tenant string, addr uint64, data []byte) error {
 	if err := r.check(addr); err != nil {
+		return err
+	}
+	if err := r.admitTenant(tenant); err != nil {
 		return err
 	}
 	g := r.gate(addr)
 	g.RLock()
 	defer g.RUnlock()
-	return r.writeVia(r.topoFor(addr), addr, data)
+	return r.writeVia(r.topoFor(addr), tenant, addr, data)
+}
+
+// ReadBatch serves one client batch across the cluster: members are
+// planned onto the first healthy replica node that owns each address, one
+// sub-batch per node fans out concurrently through the node's own
+// batch_read verb, and the results reassemble in request order. A node
+// that fails its sub-batch (died mid-batch, or rejected it — e.g. its
+// configured k is smaller than the sub-batch) is retried member by member
+// through the full replica-failover read path, so one bad node degrades
+// its members to single-op service instead of failing the batch.
+func (r *Router) ReadBatch(tenant string, addrs []uint64) ([]server.BatchResult, error) {
+	if len(addrs) == 0 {
+		return nil, server.Errorf(server.CodeBadRequest, "cluster: empty batch")
+	}
+	if len(addrs) > server.MaxBatchAddrs {
+		return nil, server.Errorf(server.CodeBatchTooLarge, "cluster: batch of %d addresses exceeds the protocol limit of %d", len(addrs), server.MaxBatchAddrs)
+	}
+	if err := r.admitTenant(tenant); err != nil {
+		return nil, err
+	}
+
+	// Hold every distinct migration gate the batch touches, acquired in
+	// ascending stripe order — the migrator takes one gate at a time, so
+	// ordered acquisition cannot deadlock against it or another batch.
+	var seen [gateCount]bool
+	gateIdx := make([]int, 0, len(addrs))
+	for _, addr := range addrs {
+		if gi := int(addr % gateCount); !seen[gi] {
+			seen[gi] = true
+			gateIdx = append(gateIdx, gi)
+		}
+	}
+	sort.Ints(gateIdx)
+	for _, gi := range gateIdx {
+		r.gates[gi].RLock()
+	}
+	defer func() {
+		for _, gi := range gateIdx {
+			r.gates[gi].RUnlock()
+		}
+	}()
+
+	// Plan each member onto the first healthy replica of its owning set,
+	// grouping members by serving node in request order.
+	type member struct {
+		idx   int // index in addrs/results
+		addr  uint64
+		local uint64
+		t     *topology
+		pri   int // replica priority actually planned
+	}
+	results := make([]server.BatchResult, len(addrs))
+	groups := make(map[*node][]member)
+	var order []*node
+	for i, addr := range addrs {
+		if err := r.check(addr); err != nil {
+			results[i].Err = err
+			continue
+		}
+		t := r.topoFor(addr)
+		reps := t.m.ReplicaNodes(addr, make([]int, 0, 4))
+		pri := 0
+		for p, ni := range reps {
+			if t.nodes[ni].healthy.Load() {
+				pri = p
+				break
+			}
+		}
+		n := t.nodes[reps[pri]]
+		if _, ok := groups[n]; !ok {
+			order = append(order, n)
+		}
+		groups[n] = append(groups[n], member{idx: i, addr: addr, local: t.m.ReplicaLocal(addr, pri, t.stripe), t: t, pri: pri})
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range order {
+		ms := groups[n]
+		wg.Add(1)
+		go func(n *node, ms []member) {
+			defer wg.Done()
+			locals := make([]uint64, len(ms))
+			for j, m := range ms {
+				locals[j] = m.local
+			}
+			rs, err := n.pick().ReadBatch(tenant, locals)
+			if err == nil && len(rs) == len(ms) {
+				n.noteSuccess()
+				for j, m := range ms {
+					results[m.idx] = rs[j]
+					if rs[j].Err == nil && m.pri > 0 {
+						// Served by a successor: the primary lost this read.
+						reps := m.t.m.ReplicaNodes(m.addr, make([]int, 0, 4))
+						m.t.nodes[reps[0]].failovers.Add(1)
+					}
+				}
+				return
+			}
+			if err != nil && server.IsRecoverable(err) {
+				n.noteFailure(err)
+			}
+			// Sub-batch failed as a whole: degrade its members to the
+			// single-op failover path so surviving replicas still answer.
+			for _, m := range ms {
+				data, rerr := r.readVia(m.t, tenant, m.addr)
+				results[m.idx] = server.BatchResult{Data: data, Err: rerr}
+			}
+		}(n, ms)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// admitTenant refuses ops from a tenant whose cluster-wide leakage
+// sub-budget is exhausted, judged against the cached per-tenant account
+// (refreshed by the prober and every stats poll).
+func (r *Router) admitTenant(tenant string) error {
+	if tenant == "" || len(r.cfg.TenantBudgets) == 0 {
+		return nil
+	}
+	budget, ok := r.cfg.TenantBudgets[tenant]
+	if !ok || budget <= 0 {
+		return nil
+	}
+	leaks := r.tenantLeaks.Load()
+	if leaks == nil {
+		return nil // no account polled yet
+	}
+	if leaked := (*leaks)[tenant]; leaked > budget {
+		return server.Errorf(server.CodeTenantBudget, "cluster: tenant %q exhausted its leakage sub-budget (%.1f bits leaked, budget %.1f)", tenant, leaked, budget)
+	}
+	return nil
 }
 
 // readVia reads addr through topology t: healthy replicas in priority order
 // first, ejected ones as a last resort, with backed-off passes over the
 // whole set while every replica is down. A fatal (application-level) error
 // returns immediately — every replica would answer the same way.
-func (r *Router) readVia(t *topology, addr uint64) ([]byte, error) {
+func (r *Router) readVia(t *topology, tenant string, addr uint64) ([]byte, error) {
 	reps := t.m.ReplicaNodes(addr, make([]int, 0, 4))
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.RetryAttempts; attempt++ {
@@ -277,7 +433,7 @@ func (r *Router) readVia(t *topology, addr uint64) ([]byte, error) {
 				if pri < len(tried) {
 					tried[pri] = true
 				}
-				data, err := n.pick().Read(t.m.ReplicaLocal(addr, pri, t.stripe))
+				data, err := n.pick().TenantRead(tenant, t.m.ReplicaLocal(addr, pri, t.stripe))
 				if err == nil {
 					n.noteSuccess()
 					if pri > 0 {
@@ -294,7 +450,7 @@ func (r *Router) readVia(t *topology, addr uint64) ([]byte, error) {
 			}
 		}
 	}
-	return nil, fmt.Errorf("cluster: address %d: all %d replicas failed: %w", addr, len(reps), lastErr)
+	return nil, server.Errorf(server.CodeUnavailable, "cluster: address %d: all %d replicas failed: %v", addr, len(reps), lastErr)
 }
 
 // writeVia writes addr through topology t, fanning out to all K replicas.
@@ -303,7 +459,7 @@ func (r *Router) readVia(t *topology, addr uint64) ([]byte, error) {
 // replica acknowledged it; replicas that missed it are counted
 // (replica_write_misses), the visible measure of how stale a rejoining node
 // is. Only when no replica acked does the router back off and retry.
-func (r *Router) writeVia(t *topology, addr uint64, data []byte) error {
+func (r *Router) writeVia(t *topology, tenant string, addr uint64, data []byte) error {
 	reps := t.m.ReplicaNodes(addr, make([]int, 0, 4))
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.RetryAttempts; attempt++ {
@@ -313,7 +469,7 @@ func (r *Router) writeVia(t *topology, addr uint64, data []byte) error {
 		acked := 0
 		for pri, ni := range reps {
 			n := t.nodes[ni]
-			err := n.pick().Write(t.m.ReplicaLocal(addr, pri, t.stripe), data)
+			err := n.pick().TenantWrite(tenant, t.m.ReplicaLocal(addr, pri, t.stripe), data)
 			if err == nil {
 				n.noteSuccess()
 				acked++
@@ -336,7 +492,7 @@ func (r *Router) writeVia(t *topology, addr uint64, data []byte) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("cluster: address %d: no replica of %d acked the write: %w", addr, len(reps), lastErr)
+	return server.Errorf(server.CodeUnavailable, "cluster: address %d: no replica of %d acked the write: %v", addr, len(reps), lastErr)
 }
 
 // NodeStats polls every current-topology node concurrently and returns the
@@ -401,7 +557,48 @@ func (r *Router) ServiceStats() (server.Stats, error) {
 	for _, n := range r.allNodes() {
 		agg.Nodes = append(agg.Nodes, n.status())
 	}
+	r.overlayTenantBudgets(&agg)
 	return agg, nil
+}
+
+// overlayTenantBudgets applies the cluster-level sub-budgets to the
+// aggregated per-tenant account (node-level budgets were dropped by
+// Aggregate — the cluster session has one account), adds zero rows for
+// budgeted tenants with no traffic yet, and refreshes the admission cache.
+func (r *Router) overlayTenantBudgets(agg *server.Stats) {
+	if len(r.cfg.TenantBudgets) == 0 && len(agg.Tenants) == 0 {
+		return
+	}
+	leaks := make(map[string]float64, len(agg.Tenants))
+	for i := range agg.Tenants {
+		ts := &agg.Tenants[i]
+		leaks[ts.Tenant] = ts.LeakedBits
+		if budget, ok := r.cfg.TenantBudgets[ts.Tenant]; ok && budget > 0 {
+			ts.BudgetBits = budget
+			ts.Exceeded = ts.LeakedBits > budget
+		}
+	}
+	for t, budget := range r.cfg.TenantBudgets {
+		if _, ok := leaks[t]; !ok && budget > 0 {
+			agg.Tenants = append(agg.Tenants, server.TenantStat{Tenant: t, BudgetBits: budget})
+			leaks[t] = 0
+		}
+	}
+	sort.Slice(agg.Tenants, func(i, j int) bool { return agg.Tenants[i].Tenant < agg.Tenants[j].Tenant })
+	r.tenantLeaks.Store(&leaks)
+}
+
+// refreshTenants re-polls the nodes and refreshes the per-tenant admission
+// cache — the prober's budget-enforcement tick.
+func (r *Router) refreshTenants() {
+	stats, _ := r.pollNodes()
+	leaks := make(map[string]float64)
+	for _, st := range stats {
+		for _, ts := range st.Tenants {
+			leaks[ts.Tenant] += ts.LeakedBits
+		}
+	}
+	r.tenantLeaks.Store(&leaks)
 }
 
 // Aggregate merges per-node stats into the cluster view. Split out of
@@ -413,12 +610,33 @@ func Aggregate(nodes []server.Stats, blocks uint64, blockBytes int, budgetBits f
 		BlockBytes:        blockBytes,
 		LeakageBudgetBits: budgetBits,
 	}
+	tenants := make(map[string]server.TenantStat)
 	for node, st := range nodes {
 		for _, sh := range st.Shards {
 			sh.Node = node
 			agg.Shards = append(agg.Shards, sh)
 		}
 		agg.LeakedBits += st.LeakedBits
+		// Per-tenant accounts sum across nodes; node-level budget fields
+		// are dropped like the node-level session budget is — the cluster
+		// judges tenants against its own sub-budgets (ServiceStats).
+		for _, ts := range st.Tenants {
+			cur := tenants[ts.Tenant]
+			cur.Tenant = ts.Tenant
+			cur.Transitions += ts.Transitions
+			cur.LeakedBits += ts.LeakedBits
+			tenants[ts.Tenant] = cur
+		}
+	}
+	if len(tenants) > 0 {
+		names := make([]string, 0, len(tenants))
+		for t := range tenants {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		for _, t := range names {
+			agg.Tenants = append(agg.Tenants, tenants[t])
+		}
 	}
 	agg.LeakageExceeded = budgetBits > 0 && agg.LeakedBits > budgetBits
 	return agg

@@ -129,6 +129,110 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchVerb prices the batch_read verb itself: one latency-bound
+// client drives the cdsi lookup stream against a paced batched store
+// (k=4, 500 µs slots), submitting singly in one series and in 4-address
+// batches in the other. Sequential single ops synchronize with the slot
+// grid one block at a time — one op per slot — while a batch lands k
+// distinct addresses in the queue at once, so the same slot lifts the
+// whole submission (takeBatch) and paced throughput approaches k per
+// slot. The ~k× ratio between the series is the serving-path win the
+// batch verb exists for; both series ride identical slot grids, so the
+// timing channel is unchanged.
+func BenchmarkBatchVerb(b *testing.B) {
+	const k = 4
+	newBatchedStore := func(b *testing.B) *Store {
+		st, err := New(Config{
+			Shards:      1,
+			Blocks:      4096,
+			BlockBytes:  64,
+			QueueDepth:  1024,
+			Backend:     BackendBatched,
+			BatchK:      k,
+			EvictEvery:  4,
+			ClockHz:     1_000_000,
+			ORAMLatency: 100,
+			Rates:       []uint64{400}, // 500 µs slot period
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { st.Close() })
+		return st
+	}
+	reportOps := func(b *testing.B) {
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(b.N)/sec, "ops/s")
+		}
+	}
+
+	b.Run("single-op", func(b *testing.B) {
+		st := newBatchedStore(b)
+		stream, err := workload.NewKVStream(workload.KVCDSI, 4096, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := stream.Next()
+			if op.Write {
+				FillPayload(buf, op.Addr, 1, 0)
+				if err := st.TenantWrite("cdsi", op.Addr, buf); err != nil {
+					b.Fatal(err)
+				}
+			} else if _, err := st.TenantRead("cdsi", op.Addr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		reportOps(b)
+	})
+
+	b.Run(fmt.Sprintf("batch=%d", k), func(b *testing.B) {
+		st := newBatchedStore(b)
+		stream, err := workload.NewKVStream(workload.KVCDSI, 4096, 1, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		var pend []uint64
+		flush := func() {
+			if len(pend) == 0 {
+				return
+			}
+			results, err := st.ReadBatch("cdsi", pend)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			pend = pend[:0]
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := stream.Next()
+			if op.Write {
+				FillPayload(buf, op.Addr, 1, 0)
+				if err := st.TenantWrite("cdsi", op.Addr, buf); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			pend = append(pend, op.Addr)
+			if len(pend) == k {
+				flush()
+			}
+		}
+		flush()
+		b.StopTimer()
+		reportOps(b)
+	})
+}
+
 func runThroughput(b *testing.B, shards int, mutate func(*Config)) {
 	runThroughputClients(b, shards, 2*shards, mutate)
 }

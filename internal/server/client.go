@@ -17,10 +17,15 @@ var ErrClientClosed = errors.New("server: client closed")
 // well-formed response: the connection worked, the server answered, and the
 // answer was "no" (address out of range, oversized payload, store closed…).
 // Distinguishing it from transport failures is what the cluster's failover
-// taxonomy runs on: retrying a RemoteError on a replica would just repeat
-// the same rejection, while a transport failure says nothing about the
-// request and everything about the connection (IsRecoverable).
-type RemoteError struct{ Msg string }
+// taxonomy runs on: most RemoteErrors would just repeat on a replica, while
+// a transport failure says nothing about the request and everything about
+// the connection (IsRecoverable). Code carries the response's
+// machine-readable code (the Code* constants) so callers branch on it
+// instead of string-matching Msg.
+type RemoteError struct {
+	Msg  string
+	Code string
+}
 
 func (e *RemoteError) Error() string { return "server: remote error: " + e.Msg }
 
@@ -153,24 +158,62 @@ func (c *Client) do(req Request) (Response, error) {
 		return Response{}, pr.connErr
 	}
 	if !pr.resp.OK {
-		return pr.resp, &RemoteError{Msg: pr.resp.Err}
+		return pr.resp, &RemoteError{Msg: pr.resp.Err, Code: pr.resp.Code}
 	}
 	return pr.resp, nil
 }
 
 // Read fetches a block.
 func (c *Client) Read(addr uint64) ([]byte, error) {
-	resp, err := c.do(Request{Op: OpRead, Addr: addr})
+	return c.TenantRead("", addr)
+}
+
+// Write stores a block.
+func (c *Client) Write(addr uint64, data []byte) error {
+	return c.TenantWrite("", addr, data)
+}
+
+// TenantRead fetches a block, charging the op to tenant's leakage
+// sub-budget on the serving side ("" = untenanted).
+func (c *Client) TenantRead(tenant string, addr uint64) ([]byte, error) {
+	resp, err := c.do(Request{Op: OpRead, Addr: addr, Tenant: tenant})
 	if err != nil {
 		return nil, err
 	}
 	return resp.Data, nil
 }
 
-// Write stores a block.
-func (c *Client) Write(addr uint64, data []byte) error {
-	_, err := c.do(Request{Op: OpWrite, Addr: addr, Data: data})
+// TenantWrite stores a block under tenant's sub-budget ("" = untenanted).
+func (c *Client) TenantWrite(tenant string, addr uint64, data []byte) error {
+	_, err := c.do(Request{Op: OpWrite, Addr: addr, Data: data, Tenant: tenant})
 	return err
+}
+
+// ReadBatch fetches up to the serving side's batch limit of blocks in one
+// batch_read round trip, returning one index-aligned result per address.
+// The returned error covers whole-batch failures (transport death, batch
+// rejected); per-address failures land in the corresponding BatchResult.Err
+// as *RemoteError without disturbing their neighbors.
+func (c *Client) ReadBatch(tenant string, addrs []uint64) ([]BatchResult, error) {
+	if len(addrs) == 0 {
+		return nil, Errorf(CodeBadRequest, "server: empty batch")
+	}
+	resp, err := c.do(Request{Op: OpBatchRead, Addrs: addrs, Tenant: tenant})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(addrs) {
+		return nil, fmt.Errorf("server: batch response carries %d results for %d addresses", len(resp.Results), len(addrs))
+	}
+	results := make([]BatchResult, len(addrs))
+	for i, r := range resp.Results {
+		if r.OK {
+			results[i].Data = r.Data
+		} else {
+			results[i].Err = &RemoteError{Msg: r.Err, Code: r.Code}
+		}
+	}
+	return results, nil
 }
 
 // Stats fetches the server's per-shard counters.

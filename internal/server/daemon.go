@@ -100,7 +100,7 @@ func HandleConn(conn net.Conn, svc Service) {
 			// it would attribute this failure to some other pipelined
 			// request. Clients must treat id 0 as "a line you sent was
 			// unparseable" (the client never issues id 0 itself).
-			out <- Response{ID: 0, OK: false, Err: fmt.Sprintf("server: bad request: %v", err)}
+			out <- Response{ID: 0, OK: false, Err: fmt.Sprintf("server: bad request: %v", err), Code: CodeBadRequest}
 			continue
 		}
 		switch req.Op {
@@ -117,12 +117,12 @@ func HandleConn(conn net.Conn, svc Service) {
 				defer func() { <-sem }()
 				stats, err := svc.ServiceStats()
 				if err != nil {
-					out <- Response{ID: req.ID, OK: false, Err: err.Error()}
+					out <- errResponse(req.ID, err)
 					return
 				}
 				out <- Response{ID: req.ID, OK: true, Stats: &stats}
 			}(req)
-		case OpRead, OpWrite:
+		case OpRead, OpWrite, OpBatchRead:
 			sem <- struct{}{}
 			inflight.Add(1)
 			go func(req Request) {
@@ -131,14 +131,14 @@ func HandleConn(conn net.Conn, svc Service) {
 				out <- dispatch(svc, req)
 			}(req)
 		default:
-			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: unknown op %q", req.Op)}
+			out <- Response{ID: req.ID, OK: false, Err: fmt.Sprintf("server: unknown op %q", req.Op), Code: CodeUnknownOp}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		// Scanner failures (oversized line, mid-stream read error) used to
 		// close the connection silently; send a final zero-ID diagnostic so
 		// the peer learns why its connection died.
-		out <- Response{ID: 0, OK: false, Err: fmt.Sprintf("server: connection failed: %v", err)}
+		out <- Response{ID: 0, OK: false, Err: fmt.Sprintf("server: connection failed: %v", err), Code: CodeBadRequest}
 	}
 	inflight.Wait()
 	close(out)
@@ -149,18 +149,35 @@ func HandleConn(conn net.Conn, svc Service) {
 func dispatch(svc Service, req Request) Response {
 	switch req.Op {
 	case OpRead:
-		data, err := svc.Read(req.Addr)
+		data, err := svc.TenantRead(req.Tenant, req.Addr)
 		if err != nil {
-			return Response{ID: req.ID, OK: false, Err: err.Error()}
+			return errResponse(req.ID, err)
 		}
 		return Response{ID: req.ID, OK: true, Data: data}
 	case OpWrite:
-		if err := svc.Write(req.Addr, req.Data); err != nil {
-			return Response{ID: req.ID, OK: false, Err: err.Error()}
+		if err := svc.TenantWrite(req.Tenant, req.Addr, req.Data); err != nil {
+			return errResponse(req.ID, err)
 		}
 		return Response{ID: req.ID, OK: true}
+	case OpBatchRead:
+		// A rejected batch (too large, empty, tenant over budget) is a
+		// normal failed response on a healthy connection; only per-address
+		// outcomes ride in Results.
+		results, err := svc.ReadBatch(req.Tenant, req.Addrs)
+		if err != nil {
+			return errResponse(req.ID, err)
+		}
+		wire := make([]WireResult, len(results))
+		for i, r := range results {
+			if r.Err != nil {
+				wire[i] = WireResult{OK: false, Err: r.Err.Error(), Code: ErrorCode(r.Err)}
+			} else {
+				wire[i] = WireResult{OK: true, Data: r.Data}
+			}
+		}
+		return Response{ID: req.ID, OK: true, Results: wire}
 	}
-	return Response{ID: req.ID, OK: false, Err: "server: unreachable op"}
+	return Response{ID: req.ID, OK: false, Err: "server: unreachable op", Code: CodeInternal}
 }
 
 // IsClosedErr reports whether err is the uninteresting error a listener

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func parseStoreFlags(t *testing.T, opt StoreFlagOptions, args ...string) (Config, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sf := NewStoreFlags(fs, opt)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return sf.Config()
+}
+
+// TestStoreFlagsDefaults: the shared builder's defaults are the daemon's
+// documented defaults, and the zero-argument parse yields a servable
+// configuration.
+func TestStoreFlagsDefaults(t *testing.T) {
+	cfg, err := parseStoreFlags(t, StoreFlagOptions{Storage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 4 || cfg.Blocks != 65536 || cfg.BlockBytes != 64 || cfg.Z != 3 ||
+		cfg.QueueDepth != 256 || cfg.Seed != 1 || cfg.Backend != "flat" || cfg.Recursion != 3 ||
+		cfg.BatchK != 4 || cfg.EvictEvery != 4 || cfg.ClockHz != 1_000_000 || cfg.ORAMLatency != 15 ||
+		cfg.EpochGrowth != 4 || cfg.Store != "mem" {
+		t.Errorf("defaults drifted: %+v", cfg)
+	}
+	if len(cfg.Rates) != 1 || cfg.Rates[0] != 85 {
+		t.Errorf("default rates = %v, want [85]", cfg.Rates)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("default flag config does not validate: %v", err)
+	}
+
+	// A binary without the storage group gets a config with no Store field
+	// set, and the caller's Blocks override becomes the flag default.
+	cfg, err = parseStoreFlags(t, StoreFlagOptions{Blocks: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Blocks != 4096 || cfg.Store != "" {
+		t.Errorf("loadgen-shaped defaults: Blocks=%d Store=%q", cfg.Blocks, cfg.Store)
+	}
+}
+
+// TestStoreFlagsBatchedRecursionSpecialCase: the builder carries oramd's
+// flag.Visit special case — `-oram batched` defaults to a flat position map
+// unless -recursion was passed explicitly.
+func TestStoreFlagsBatchedRecursionSpecialCase(t *testing.T) {
+	cfg, err := parseStoreFlags(t, StoreFlagOptions{}, "-oram", "batched")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Recursion != 0 {
+		t.Errorf("batched without -recursion got recursion %d, want 0", cfg.Recursion)
+	}
+	cfg, err = parseStoreFlags(t, StoreFlagOptions{}, "-oram", "batched", "-recursion", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Recursion != 2 {
+		t.Errorf("explicit -recursion 2 got %d", cfg.Recursion)
+	}
+	cfg, err = parseStoreFlags(t, StoreFlagOptions{}, "-oram", "recursive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Recursion != 3 {
+		t.Errorf("recursive backend got recursion %d, want the default 3", cfg.Recursion)
+	}
+}
+
+// TestStoreFlagsBudgets: the embedded budget group parses both the session
+// budget and the per-tenant sub-budgets, and surfaces parse errors from
+// Config() rather than panicking mid-serve.
+func TestStoreFlagsBudgets(t *testing.T) {
+	cfg, err := parseStoreFlags(t, StoreFlagOptions{},
+		"-leak-budget", "64", "-tenant-budgets", "alice=8,bob=16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LeakageBudgetBits != 64 {
+		t.Errorf("LeakageBudgetBits = %v", cfg.LeakageBudgetBits)
+	}
+	if len(cfg.TenantBudgets) != 2 || cfg.TenantBudgets["alice"] != 8 || cfg.TenantBudgets["bob"] != 16 {
+		t.Errorf("TenantBudgets = %v", cfg.TenantBudgets)
+	}
+	if _, err := parseStoreFlags(t, StoreFlagOptions{}, "-tenant-budgets", "alice"); err == nil {
+		t.Error("malformed -tenant-budgets accepted")
+	}
+	if _, err := parseStoreFlags(t, StoreFlagOptions{}, "-rates", "85,banana"); err == nil {
+		t.Error("malformed -rates accepted")
+	}
+}
+
+// TestStoreFlagsUsageNote: the Note prefix and per-flag usage overrides land
+// in the registered flag set — what keeps loadgen's help text honest about
+// which flags are in-process-only.
+func TestStoreFlagsUsageNote(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	NewStoreFlags(fs, StoreFlagOptions{
+		Note:      "in-process: ",
+		SeedUsage: "workload seed",
+	})
+	if f := fs.Lookup("shards"); f == nil || !strings.HasPrefix(f.Usage, "in-process: ") {
+		t.Errorf("shards usage not Note-prefixed: %+v", f)
+	}
+	if f := fs.Lookup("seed"); f == nil || f.Usage != "workload seed" {
+		t.Errorf("seed usage override not applied: %+v", f)
+	}
+	if fs.Lookup("store") != nil {
+		t.Error("storage group registered without Storage: true")
+	}
+}

@@ -17,11 +17,22 @@ import (
 // Store or a TCP Client), validating every read and reporting a
 // sim.ServiceReport.
 
-// KV is the minimal surface the driver needs; *Store and *Client both
-// satisfy it.
+// KV is the data surface of the service, satisfied by *Store, *Client,
+// *RetryClient, and the cluster router: untenanted single ops, their
+// tenant-tagged forms, and the batch verb the contact-discovery path runs
+// on. Read/Write are the degenerate untenanted forms every implementation
+// defines as TenantRead("", …)/TenantWrite("", …).
 type KV interface {
 	Read(addr uint64) ([]byte, error)
 	Write(addr uint64, data []byte) error
+	// TenantRead and TenantWrite are Read/Write charged to tenant's
+	// leakage sub-budget ("" = untenanted).
+	TenantRead(tenant string, addr uint64) ([]byte, error)
+	TenantWrite(tenant string, addr uint64, data []byte) error
+	// ReadBatch serves up to the implementation's batch limit of addresses
+	// in one round: whole-batch failures return an error, per-address
+	// failures land in the index-aligned results.
+	ReadBatch(tenant string, addrs []uint64) ([]BatchResult, error)
 }
 
 // payload layout for verifiable blocks: a magic tag, the block's own
@@ -83,6 +94,17 @@ type LoadConfig struct {
 	BlockBytes int
 	// Seed makes the run reproducible (default 1).
 	Seed int64
+	// Tenant tags every operation for the serving side's per-tenant
+	// leakage accountant ("" = untenanted).
+	Tenant string
+	// BatchSize > 1 groups consecutive reads into ReadBatch submissions of
+	// up to this many addresses (writes and think-time pauses flush the
+	// pending batch first) — the contact-discovery submission shape.
+	// 0 or 1 sends every op through the single-op verbs.
+	BatchSize int
+	// WAN, when enabled, shapes every client's link: ops serialize through
+	// WAN.KBps of bandwidth and pay WAN.RTT of propagation delay.
+	WAN WANConfig
 }
 
 func (c LoadConfig) withDefaults() LoadConfig {
@@ -150,6 +172,7 @@ func RunLoad(dial func() (KV, error), statsFn func() (Stats, error), cfg LoadCon
 				lost.Add(uint64(cfg.OpsPerClient))
 				return
 			}
+			kv = WrapWAN(kv, cfg.WAN)
 			// Scan clients start at disjoint offsets so together they sweep
 			// the space instead of stampeding the same blocks.
 			startAddr := uint64(cl) * (cfg.Blocks / uint64(cfg.Clients))
@@ -161,23 +184,66 @@ func RunLoad(dial func() (KV, error), statsFn func() (Stats, error), cfg LoadCon
 			}
 			buf := make([]byte, cfg.BlockBytes)
 			local := make([]time.Duration, 0, cfg.OpsPerClient)
+			var pending []uint64
+			// flush submits the accumulated reads as one batch_read. Each
+			// member observes the whole batch's round-trip latency — that is
+			// what a contact-discovery client experiences for every address
+			// in its submission.
+			flush := func() {
+				if len(pending) == 0 {
+					return
+				}
+				t0 := time.Now()
+				results, err := kv.ReadBatch(cfg.Tenant, pending)
+				if err != nil {
+					lost.Add(uint64(len(pending)))
+					pending = pending[:0]
+					return
+				}
+				batchLat := time.Since(t0)
+				for i, r := range results {
+					if r.Err != nil {
+						lost.Add(1)
+						continue
+					}
+					if err := CheckPayload(r.Data, pending[i]); err != nil {
+						corrupted.Add(1)
+					}
+					reads.Add(1)
+					local = append(local, batchLat)
+				}
+				pending = pending[:0]
+			}
 			for i := 0; i < cfg.OpsPerClient; i++ {
 				op := stream.Next()
 				if op.Pause > 0 {
 					// Think time of the phase-shifting scenarios: offered
-					// load, not service latency, so it precedes the clock.
+					// load, not service latency, so it precedes the clock —
+					// and closes the current batch, as a real client's
+					// submission would end.
+					flush()
 					time.Sleep(op.Pause)
+				}
+				if cfg.BatchSize > 1 && !op.Write {
+					pending = append(pending, op.Addr)
+					if len(pending) >= cfg.BatchSize {
+						flush()
+					}
+					continue
+				}
+				if op.Write {
+					flush() // a write closes the submission in progress
 				}
 				t0 := time.Now()
 				if op.Write {
 					FillPayload(buf, op.Addr, uint32(cl), uint64(i))
-					if err := kv.Write(op.Addr, buf); err != nil {
+					if err := kv.TenantWrite(cfg.Tenant, op.Addr, buf); err != nil {
 						lost.Add(1)
 						continue
 					}
 					writes.Add(1)
 				} else {
-					data, err := kv.Read(op.Addr)
+					data, err := kv.TenantRead(cfg.Tenant, op.Addr)
 					if err != nil {
 						lost.Add(1)
 						continue
@@ -189,6 +255,7 @@ func RunLoad(dial func() (KV, error), statsFn func() (Stats, error), cfg LoadCon
 				}
 				local = append(local, time.Since(t0))
 			}
+			flush()
 			mu.Lock()
 			latencies = append(latencies, local...)
 			mu.Unlock()

@@ -17,19 +17,26 @@ import (
 // single-connection composition for callers that talk to one daemon (or one
 // proxy) and want a dropped connection to heal instead of surfacing.
 
-// IsRecoverable reports whether err is a transport-level failure that says
-// nothing about the request itself: the connection died, was refused, or
-// timed out, so the same operation may succeed on a replica or on a fresh
-// connection. Application-level rejections (*RemoteError — out of range,
-// oversized payload, store closed) are not recoverable: every replica would
-// answer the same way, and retrying would only repeat the rejection.
+// IsRecoverable reports whether err is a failure that says nothing about
+// the request itself: the connection died, was refused, or timed out, so
+// the same operation may succeed on a replica or on a fresh connection.
+// Application-level rejections (out of range, oversized payload, store
+// closed) are not recoverable: every replica would answer the same way,
+// and retrying would only repeat the rejection. The one coded exception is
+// CodeUnavailable — "nobody reachable holds this right now" — which is
+// transient by definition, so it stays retryable even after crossing a
+// proxy hop as a *RemoteError.
 func IsRecoverable(err error) bool {
 	if err == nil {
 		return false
 	}
 	var remote *RemoteError
 	if errors.As(err, &remote) {
-		return false
+		return remote.Code == CodeUnavailable
+	}
+	var coded *Error
+	if errors.As(err, &coded) {
+		return coded.Code == CodeUnavailable
 	}
 	switch {
 	case errors.Is(err, ErrClientClosed),
@@ -215,6 +222,32 @@ func (c *RetryClient) Read(addr uint64) (data []byte, err error) {
 // idempotent by construction, since a block write is a full overwrite.
 func (c *RetryClient) Write(addr uint64, data []byte) error {
 	return c.do(func(cl *Client) error { return cl.Write(addr, data) })
+}
+
+// TenantRead fetches a block under tenant's sub-budget, retrying across
+// connections.
+func (c *RetryClient) TenantRead(tenant string, addr uint64) (data []byte, err error) {
+	err = c.do(func(cl *Client) error {
+		data, err = cl.TenantRead(tenant, addr)
+		return err
+	})
+	return data, err
+}
+
+// TenantWrite stores a block under tenant's sub-budget, retrying across
+// connections (idempotent like Write).
+func (c *RetryClient) TenantWrite(tenant string, addr uint64, data []byte) error {
+	return c.do(func(cl *Client) error { return cl.TenantWrite(tenant, addr, data) })
+}
+
+// ReadBatch fetches a batch, retrying whole-batch transport failures across
+// connections; per-address failures inside an accepted batch pass through.
+func (c *RetryClient) ReadBatch(tenant string, addrs []uint64) (results []BatchResult, err error) {
+	err = c.do(func(cl *Client) error {
+		results, err = cl.ReadBatch(tenant, addrs)
+		return err
+	})
+	return results, err
 }
 
 // Stats fetches the server's counters, retrying across connections.

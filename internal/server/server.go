@@ -26,8 +26,8 @@
 package server
 
 import (
-	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -39,8 +39,10 @@ import (
 )
 
 // ErrClosed is returned for requests submitted to (or pending in) a store
-// that has been closed.
-var ErrClosed = errors.New("server: store closed")
+// that has been closed. It is a coded *Error (CodeStoreClosed) so the
+// condition survives the wire as a machine-readable code; compare with
+// errors.Is as before.
+var ErrClosed error = &Error{Code: CodeStoreClosed, Msg: "server: store closed"}
 
 // Store selector values for Config.Store.
 const (
@@ -178,6 +180,15 @@ type Config struct {
 	// "shut down the chip" policy belongs to them).
 	LeakageBudgetBits float64
 
+	// TenantBudgets assigns per-tenant leakage sub-budgets in bits
+	// (tenant name → bits). Unlike the store-wide budget, tenant
+	// sub-budgets are enforced: once the leakage attributed to a budgeted
+	// tenant's activity exceeds its sub-budget, that tenant's new ops are
+	// refused with CodeTenantBudget while every other tenant keeps being
+	// served. Tenants absent from the map (and the empty tenant) are
+	// accounted but never refused. Nil means single-tenant operation.
+	TenantBudgets map[string]float64
+
 	// Unpaced disables rate enforcement entirely (no slot grid, no
 	// dummies): the unshielded base_oram mode, for capacity measurement.
 	Unpaced bool
@@ -262,6 +273,30 @@ func (c Config) withDefaults() Config {
 // with ErrTooLong.
 const maxWireBlockBytes = (maxLineBytes - 1024) / 4 * 3
 
+// DefaultMaxBatch is the batch_read address limit for backends without a
+// native per-slot batch capacity: the batch still saves round trips, it
+// just rides one slot per member.
+const DefaultMaxBatch = 16
+
+// MaxBatch is the store's public batch_read limit: the batched backend's
+// per-slot capacity BatchK (so one client batch rides one slot where
+// possible), DefaultMaxBatch otherwise. Like BatchK and Rates it is a
+// public parameter of the serving schedule.
+func (c Config) MaxBatch() int {
+	if c.Backend == BackendBatched && c.BatchK > 0 {
+		return c.BatchK
+	}
+	return DefaultMaxBatch
+}
+
+// wireBatchLineBytes is the worst-case encoded length of a batch_read
+// response carrying k full blocks: JSON framing slack plus, per member,
+// the base64-expanded payload and its result framing.
+func wireBatchLineBytes(k, blockBytes int) int {
+	member := (blockBytes+2)/3*4 + 64
+	return 1024 + k*member
+}
+
 // Validate reports whether the configuration is usable, including every
 // enforcer-facing field: New fails fast with a "server:" error naming the
 // bad field instead of surfacing a core error from deep inside shard
@@ -278,6 +313,13 @@ func (c Config) Validate() error {
 	}
 	if c.BlockBytes > maxWireBlockBytes {
 		return fmt.Errorf("server: BlockBytes %d exceeds the wire protocol's %d-byte limit", c.BlockBytes, maxWireBlockBytes)
+	}
+	// The worst-case batch_read response (MaxBatch full blocks, base64)
+	// must fit one protocol line, or every full batch would surface as a
+	// dropped connection at runtime instead of a config error here.
+	if k := c.MaxBatch(); c.BlockBytes > 0 && wireBatchLineBytes(k, c.BlockBytes) > maxLineBytes {
+		return fmt.Errorf("server: a %d-address batch of %d-byte blocks encodes to %d bytes, above the protocol's %d-byte line limit — lower BatchK or BlockBytes",
+			k, c.BlockBytes, wireBatchLineBytes(k, c.BlockBytes), maxLineBytes)
 	}
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("server: QueueDepth must not be negative, got %d", c.QueueDepth)
@@ -374,6 +416,14 @@ func (c Config) Validate() error {
 	}
 	if c.LeakageBudgetBits < 0 {
 		return fmt.Errorf("server: LeakageBudgetBits must not be negative, got %v", c.LeakageBudgetBits)
+	}
+	for name, bits := range c.TenantBudgets {
+		if name == "" {
+			return fmt.Errorf("server: TenantBudgets names the empty tenant")
+		}
+		if bits < 0 {
+			return fmt.Errorf("server: TenantBudgets[%q] must not be negative, got %v", name, bits)
+		}
 	}
 	if c.Unpaced {
 		return nil // the enforcer stack is never built
@@ -484,7 +534,23 @@ func (s *Store) localAddr(addr uint64) uint64 {
 // Read returns a copy of the block's contents (zeroes if never written).
 // It blocks until a slot on the owning shard serves the request.
 func (s *Store) Read(addr uint64) ([]byte, error) {
-	req := &request{addr: addr, resp: make(chan result, 1)}
+	return s.TenantRead("", addr)
+}
+
+// Write stores data into the block. len(data) must not exceed BlockBytes;
+// shorter payloads are zero-padded. It blocks until a slot serves the
+// request.
+func (s *Store) Write(addr uint64, data []byte) error {
+	return s.TenantWrite("", addr, data)
+}
+
+// TenantRead is Read charged to tenant's leakage sub-budget ("" =
+// untenanted, never refused).
+func (s *Store) TenantRead(tenant string, addr uint64) ([]byte, error) {
+	if err := s.admitTenant(tenant); err != nil {
+		return nil, err
+	}
+	req := &request{addr: addr, tenant: tenant, resp: make(chan result, 1)}
 	if err := s.submit(req); err != nil {
 		return nil, err
 	}
@@ -492,16 +558,17 @@ func (s *Store) Read(addr uint64) ([]byte, error) {
 	return res.data, res.err
 }
 
-// Write stores data into the block. len(data) must not exceed BlockBytes;
-// shorter payloads are zero-padded. It blocks until a slot serves the
-// request.
-func (s *Store) Write(addr uint64, data []byte) error {
+// TenantWrite is Write charged to tenant's leakage sub-budget.
+func (s *Store) TenantWrite(tenant string, addr uint64, data []byte) error {
+	if err := s.admitTenant(tenant); err != nil {
+		return err
+	}
 	if len(data) > s.cfg.BlockBytes {
-		return fmt.Errorf("server: payload is %d bytes, block is %d", len(data), s.cfg.BlockBytes)
+		return Errorf(CodeOversized, "server: payload is %d bytes, block is %d", len(data), s.cfg.BlockBytes)
 	}
 	buf := make([]byte, s.cfg.BlockBytes)
 	copy(buf, data)
-	req := &request{addr: addr, write: true, data: buf, resp: make(chan result, 1)}
+	req := &request{addr: addr, tenant: tenant, write: true, data: buf, resp: make(chan result, 1)}
 	if err := s.submit(req); err != nil {
 		return err
 	}
@@ -509,11 +576,92 @@ func (s *Store) Write(addr uint64, data []byte) error {
 	return res.err
 }
 
+// ReadBatch serves up to MaxBatch addresses as one batch: members are
+// enqueued together, so on the batched backend a whole client batch rides
+// one multi-path slot where the addresses land on one shard. The error
+// return covers whole-batch rejections (empty, too large, tenant over
+// budget, store closed); per-address failures (out of range) land in the
+// matching BatchResult.Err without failing their neighbors.
+func (s *Store) ReadBatch(tenant string, addrs []uint64) ([]BatchResult, error) {
+	if len(addrs) == 0 {
+		return nil, Errorf(CodeBadRequest, "server: empty batch")
+	}
+	if max := s.cfg.MaxBatch(); len(addrs) > max {
+		return nil, Errorf(CodeBatchTooLarge, "server: batch of %d addresses exceeds the store's limit of %d", len(addrs), max)
+	}
+	if err := s.admitTenant(tenant); err != nil {
+		return nil, err
+	}
+	results := make([]BatchResult, len(addrs))
+	reqs := make([]*request, len(addrs))
+	for i, addr := range addrs {
+		if addr >= s.cfg.Blocks {
+			results[i].Err = Errorf(CodeOutOfRange, "server: address %d out of range (%d blocks)", addr, s.cfg.Blocks)
+			continue
+		}
+		sh := s.shards[s.ShardOf(addr)]
+		req := &request{addr: addr, local: s.localAddr(addr), tenant: tenant, resp: make(chan result, 1)}
+		if sh.enf != nil {
+			req.arrival = sh.enf.Now()
+		}
+		reqs[i] = req
+	}
+	// All members enqueue under one closed-check so a batch is atomic
+	// against Close; same-shard members land contiguously in that shard's
+	// queue, which is what lets takeBatch lift them into one slot.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		sh := s.shards[s.ShardOf(addrs[i])]
+		sh.depth.Add(1)
+		sh.queue <- req
+	}
+	s.mu.RUnlock()
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		res := <-req.resp
+		results[i].Data = res.data
+		results[i].Err = res.err
+	}
+	return results, nil
+}
+
+// admitTenant refuses ops from a tenant whose leakage sub-budget is
+// exhausted. Only tenants named in TenantBudgets are ever refused; the
+// check reads the current per-shard attribution, so the refusal begins
+// with the first op after the budget-crossing epoch transition.
+func (s *Store) admitTenant(tenant string) error {
+	if tenant == "" || len(s.cfg.TenantBudgets) == 0 {
+		return nil
+	}
+	budget, ok := s.cfg.TenantBudgets[tenant]
+	if !ok || budget <= 0 {
+		return nil
+	}
+	var transitions uint64
+	for _, sh := range s.shards {
+		transitions += sh.tenantTransitions(tenant)
+	}
+	leaked := float64(leakage.ORAMTimingBits(len(s.cfg.Rates), int(transitions)))
+	if leaked > budget {
+		return Errorf(CodeTenantBudget, "server: tenant %q exhausted its leakage sub-budget (%.1f bits leaked, budget %.1f)", tenant, leaked, budget)
+	}
+	return nil
+}
+
 // submit validates and routes a request to its shard's queue, blocking when
 // the queue is full (backpressure).
 func (s *Store) submit(req *request) error {
 	if req.addr >= s.cfg.Blocks {
-		return fmt.Errorf("server: address %d out of range (%d blocks)", req.addr, s.cfg.Blocks)
+		return Errorf(CodeOutOfRange, "server: address %d out of range (%d blocks)", req.addr, s.cfg.Blocks)
 	}
 	sh := s.shards[s.ShardOf(req.addr)]
 	req.local = s.localAddr(req.addr)
@@ -557,7 +705,47 @@ func (s *Store) Stats() Stats {
 		st.Shards[i] = ss
 	}
 	st.LeakageExceeded = s.cfg.LeakageBudgetBits > 0 && st.LeakedBits > s.cfg.LeakageBudgetBits
+	st.Tenants = s.tenantStats(st.Shards)
 	return st
+}
+
+// tenantStats builds the per-tenant leakage account from the shards'
+// attribution maps, including budgeted tenants that have not sent traffic
+// yet (their rows show the configured budget at zero spend).
+func (s *Store) tenantStats(shards []ShardStats) []TenantStat {
+	transitions := make(map[string]uint64)
+	for _, ss := range shards {
+		for t, n := range ss.TenantTransitions {
+			transitions[t] += n
+		}
+	}
+	for t := range s.cfg.TenantBudgets {
+		if _, ok := transitions[t]; !ok {
+			transitions[t] = 0
+		}
+	}
+	if len(transitions) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(transitions))
+	for t := range transitions {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	out := make([]TenantStat, 0, len(names))
+	for _, t := range names {
+		ts := TenantStat{
+			Tenant:      t,
+			Transitions: transitions[t],
+			LeakedBits:  float64(leakage.ORAMTimingBits(len(s.cfg.Rates), int(transitions[t]))),
+		}
+		if budget, ok := s.cfg.TenantBudgets[t]; ok && budget > 0 {
+			ts.BudgetBits = budget
+			ts.Exceeded = ts.LeakedBits > budget
+		}
+		out = append(out, ts)
+	}
+	return out
 }
 
 // ServiceStats adapts Stats to the daemon's Service interface (a local
@@ -611,6 +799,13 @@ type Stats struct {
 	LeakedBits        float64 `json:"leaked_bits"`
 	LeakageBudgetBits float64 `json:"leakage_budget_bits,omitempty"`
 	LeakageExceeded   bool    `json:"leakage_exceeded,omitempty"`
+	// Tenants is the per-tenant slice of the leakage account, sorted by
+	// tenant name: epoch transitions attributed to each tenant's activity
+	// and the resulting leaked bits, with the sub-budget and its trip flag
+	// for budgeted tenants. One tenant tripping its sub-budget never
+	// spends another's — see docs/LEAKAGE.md for what the attribution does
+	// and does not compose to.
+	Tenants []TenantStat `json:"tenants,omitempty"`
 
 	// Cluster routing metadata, populated only when the stats were
 	// aggregated by a routing proxy (internal/cluster). RoutingEpoch and
@@ -626,6 +821,21 @@ type Stats struct {
 	MigrationActive    bool         `json:"migration_active,omitempty"`
 	MigrationWatermark uint64       `json:"migration_watermark,omitempty"`
 	Nodes              []NodeStatus `json:"nodes,omitempty"`
+}
+
+// TenantStat is one tenant's slice of the leakage account. Transitions
+// counts epoch transitions that occurred while the tenant was active
+// (attribution: every tenant active in an epoch is charged that epoch's
+// full lg|R|-bit transition — leakage is not divisible between observers).
+// LeakedBits = Transitions × lg|R|. BudgetBits echoes the configured
+// sub-budget (0 = unbudgeted) and Exceeded flags an overrun, at which
+// point the store refuses the tenant's new ops with CodeTenantBudget.
+type TenantStat struct {
+	Tenant      string  `json:"tenant"`
+	Transitions uint64  `json:"transitions"`
+	LeakedBits  float64 `json:"leaked_bits"`
+	BudgetBits  float64 `json:"budget_bits,omitempty"`
+	Exceeded    bool    `json:"leakage_exceeded,omitempty"`
 }
 
 // NodeStatus is one cluster node's health record as seen by the routing
@@ -682,6 +892,12 @@ type ShardStats struct {
 	RateChanges []core.RateChange `json:"rate_changes,omitempty"`
 	// LeakedBits is this shard's share of the store's leakage account.
 	LeakedBits float64 `json:"leaked_bits"`
+	// TenantTransitions attributes this shard's epoch transitions to the
+	// tenants active when each fired: tenant name → transitions charged.
+	// Every tenant with queued traffic in the transition's epoch is charged
+	// the full transition (the rate choice is revealed to each of them
+	// alike). Untenanted traffic is not tracked here.
+	TenantTransitions map[string]uint64 `json:"tenant_transitions,omitempty"`
 	// OverdueSlots counts slots this shard issued at least one full period
 	// behind the wall clock (the pacing loop's back-to-back catch-up mode);
 	// MaxLagCycles is the worst such lag observed. Nonzero values mean the
@@ -811,6 +1027,42 @@ func ParseRates(s string) ([]uint64, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("server: empty rate set")
+	}
+	return out, nil
+}
+
+// ParseTenantBudgets parses the -tenant-budgets flag format
+// ("alice=32,bob=64": tenant name = sub-budget bits) shared by cmd/oramd
+// and cmd/oramproxy. Empty input means no sub-budgets (nil map).
+func ParseTenantBudgets(s string) (map[string]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("server: bad tenant budget %q (want name=bits)", part)
+		}
+		bits, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: bad tenant budget %q: %v", part, err)
+		}
+		if bits < 0 {
+			return nil, fmt.Errorf("server: tenant %q budget must not be negative, got %v", name, bits)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("server: tenant %q budgeted twice", name)
+		}
+		out[name] = bits
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("server: empty tenant budget list")
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"slices"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ type request struct {
 	data    []byte // write payload, already padded to BlockBytes
 	out     []byte // read result, filled by the serving shard
 	arrival uint64 // enforcer cycle at submission (paced mode)
+	tenant  string // leakage-accounting tag ("" = untenanted)
 	resp    chan result
 }
 
@@ -66,6 +68,17 @@ type shard struct {
 	ops          []pathoram.BatchOp
 	peaksScratch []int
 
+	// Per-tenant leakage attribution. activeTenants and lastEpoch are
+	// loop-private: tenants are recorded as their requests are served, and
+	// when the enforcer's epoch advances every tenant active in the closing
+	// epoch is charged that transition (its demand fed the learner's rate
+	// choice). tenantTrans is the shared tally, read by the store's
+	// admission check and stats under tmu.
+	activeTenants map[string]struct{}
+	lastEpoch     int
+	tmu           sync.Mutex
+	tenantTrans   map[string]uint64
+
 	// persist is the shard's checkpoint engine (nil for RAM-backed shards);
 	// owned by the run goroutine like the ORAM itself. When deferAcks is set
 	// (CheckpointEvery == 1), served requests park in done until the slot's
@@ -110,6 +123,11 @@ func newShard(id int, o Backend, cfg Config, stop chan struct{}, p *persister) (
 	if bb, ok := o.(BatchBackend); ok {
 		sh.batcher = bb
 		sh.batchK = bb.BatchK()
+	}
+	sh.activeTenants = make(map[string]struct{})
+	sh.tenantTrans = make(map[string]uint64)
+	if sh.enf != nil {
+		sh.lastEpoch = sh.enf.Epoch()
 	}
 	if p != nil {
 		sh.persist = p
@@ -165,12 +183,14 @@ func (sh *shard) run() {
 			// checkpoint consistently (trusted state and pinned bucket pages
 			// roll back together).
 			sh.enf.TakeSlot(slot, false)
+			sh.noteEpochTenants()
 			if err = sh.oram.DummyAccess(); err == nil {
 				sh.dummies.Add(1)
 			}
 		} else if sh.batcher != nil {
 			arrival := sh.takeBatch(sh.batchK)
 			sh.enf.TakeSlot(arrival, true)
+			sh.noteEpochTenants()
 			if err = sh.serveBatch(); err == nil {
 				sh.reals.Add(1)
 				err = sh.maybeCheckpoint()
@@ -178,6 +198,7 @@ func (sh *shard) run() {
 		} else {
 			arrival := sh.takeGroup()
 			sh.enf.TakeSlot(arrival, true)
+			sh.noteEpochTenants()
 			if err = sh.serveGroup(); err == nil {
 				sh.reals.Add(1)
 				err = sh.maybeCheckpoint()
@@ -226,6 +247,44 @@ func (sh *shard) runUnpaced() {
 			sh.publishStats()
 		}
 	}
+}
+
+// noteEpochTenants charges the epoch transition the enforcer just crossed
+// to every tenant that was active in the closing epoch, then resets the
+// active set. Runs right after TakeSlot (which is what advances the epoch),
+// so the charge lands before the budget check admits the tenant's next op.
+// A multi-epoch jump is charged as one transition: the schedule revealed
+// one new rate choice, however many epoch boundaries elapsed idle.
+func (sh *shard) noteEpochTenants() {
+	epoch := sh.enf.Epoch()
+	if epoch == sh.lastEpoch {
+		return
+	}
+	sh.lastEpoch = epoch
+	if len(sh.activeTenants) == 0 {
+		return
+	}
+	sh.tmu.Lock()
+	for t := range sh.activeTenants {
+		sh.tenantTrans[t]++
+	}
+	sh.tmu.Unlock()
+	clear(sh.activeTenants)
+}
+
+// noteTenant records a served request's tenant as active in the current
+// epoch (loop-private; untenanted traffic is not tracked).
+func (sh *shard) noteTenant(tenant string) {
+	if tenant != "" {
+		sh.activeTenants[tenant] = struct{}{}
+	}
+}
+
+// tenantTransitions reports the transitions charged to tenant so far.
+func (sh *shard) tenantTransitions(tenant string) uint64 {
+	sh.tmu.Lock()
+	defer sh.tmu.Unlock()
+	return sh.tenantTrans[tenant]
 }
 
 // maybeCheckpoint runs the checkpoint cadence after a served (real) slot:
@@ -419,6 +478,7 @@ func (sh *shard) serveGroup() error {
 		}
 	})
 	for _, req := range sh.group {
+		sh.noteTenant(req.tenant)
 		if err != nil {
 			sh.finish(req, result{err: err})
 		} else if req.write {
@@ -456,6 +516,7 @@ func (sh *shard) serveBatch() error {
 	err := sh.batcher.AccessBatch(sh.ops)
 	for _, g := range sh.batch {
 		for i, req := range g {
+			sh.noteTenant(req.tenant)
 			if err != nil {
 				sh.finish(req, result{err: err})
 			} else if req.write {
@@ -553,6 +614,14 @@ func (sh *shard) stats() ShardStats {
 	if p := sh.levelPeaks.Load(); p != nil {
 		ss.StashPeaks = slices.Clone(*p)
 	}
+	sh.tmu.Lock()
+	if len(sh.tenantTrans) > 0 {
+		ss.TenantTransitions = make(map[string]uint64, len(sh.tenantTrans))
+		for t, n := range sh.tenantTrans {
+			ss.TenantTransitions[t] = n
+		}
+	}
+	sh.tmu.Unlock()
 	if sh.enf != nil {
 		ss.OverdueSlots, ss.MaxLagCycles = sh.enf.Slip()
 		ss.RateChanges = sh.enf.RateChanges()

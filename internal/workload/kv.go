@@ -60,11 +60,18 @@ const (
 	// geometrically, and a working learner should walk down the rate set
 	// behind it.
 	KVRamp KVScenario = "ramp"
+	// KVCDSI is the oblivious contact-discovery shape (Signal-CDSI): an
+	// almost read-only hash-table lookup stream (2% writes — registration
+	// churn) with a sharply zipfian hot-key set (s = 1.3 — popular numbers
+	// are queried by many contact lists). Drive it with LoadConfig.BatchSize
+	// > 1 so lookups ride the batch_read verb the way CDSI clients submit
+	// whole contact lists.
+	KVCDSI KVScenario = "cdsi"
 )
 
 // KVScenarios lists every scenario, in the order loadgen runs them.
 func KVScenarios() []KVScenario {
-	return []KVScenario{KVUniform, KVZipf, KVReadMostly, KVScan, KVBursty, KVOnOff, KVRamp}
+	return []KVScenario{KVUniform, KVZipf, KVReadMostly, KVScan, KVBursty, KVOnOff, KVRamp, KVCDSI}
 }
 
 // Phase-shape constants. Op counts and think times are per client; the
@@ -86,6 +93,8 @@ func (s KVScenario) writeFraction() float64 {
 		return 0.05
 	case KVScan:
 		return 0.10
+	case KVCDSI:
+		return 0.02
 	default:
 		return 0.50
 	}
@@ -124,6 +133,10 @@ func NewKVStream(scenario KVScenario, blocks uint64, seed int64, start uint64) (
 		// s=1.1, v=1 over the whole space: a small hot set absorbs most
 		// accesses while the tail keeps every shard warm.
 		s.zipf = rand.NewZipf(rng, 1.1, 1, blocks-1)
+	case KVCDSI:
+		// Sharper skew than KVZipf: contact-list queries pile onto popular
+		// numbers much harder than generic KV caching workloads.
+		s.zipf = rand.NewZipf(rng, 1.3, 1, blocks-1)
 	default:
 		return nil, fmt.Errorf("workload: unknown kv scenario %q", scenario)
 	}
@@ -140,7 +153,7 @@ func (s *kvStream) Next() KVOp {
 		if s.cursor >= s.blocks {
 			s.cursor = 0
 		}
-	case KVZipf:
+	case KVZipf, KVCDSI:
 		addr = s.zipf.Uint64()
 	default:
 		addr = s.rng.Uint64() % s.blocks

@@ -169,6 +169,57 @@ func TestKVPhaseShapes(t *testing.T) {
 	})
 }
 
+// TestKVCDSIShape pins the contact-discovery scenario's contract: it is in
+// the scenario list loadgen iterates, think-time-free (CDSI clients submit
+// whole contact lists back-to-back), almost read-only, and more sharply
+// skewed toward hot keys than the generic zipf shape — popular numbers
+// appear in many contact lists.
+func TestKVCDSIShape(t *testing.T) {
+	listed := false
+	for _, sc := range KVScenarios() {
+		if sc == KVCDSI {
+			listed = true
+		}
+	}
+	if !listed {
+		t.Fatal("cdsi missing from KVScenarios")
+	}
+
+	const blocks = 1 << 16
+	const n = 20000
+	hotShare := func(sc KVScenario) float64 {
+		t.Helper()
+		s, err := NewKVStream(sc, blocks, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot, writes := 0, 0
+		for i := 0; i < n; i++ {
+			op := s.Next()
+			if op.Pause != 0 {
+				t.Fatalf("%s: op %d has think time %v, want 0", sc, i, op.Pause)
+			}
+			if op.Addr < 16 {
+				hot++
+			}
+			if op.Write {
+				writes++
+			}
+		}
+		if sc == KVCDSI {
+			if frac := float64(writes) / n; frac > 0.04 {
+				t.Errorf("cdsi write fraction %.3f, want ≈0.02 (registration churn only)", frac)
+			}
+		}
+		return float64(hot) / n
+	}
+
+	cdsi, zipf := hotShare(KVCDSI), hotShare(KVZipf)
+	if cdsi <= zipf {
+		t.Errorf("cdsi hot-16 share %.3f not sharper than zipf's %.3f", cdsi, zipf)
+	}
+}
+
 func TestKVStreamRejectsBadInput(t *testing.T) {
 	if _, err := NewKVStream(KVUniform, 0, 1, 0); err == nil {
 		t.Error("blocks=0 accepted")

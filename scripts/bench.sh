@@ -59,7 +59,10 @@ trap 'rm -f "$raw"' EXIT
 # Naming convention the gate depends on: slot-grid-paced throughput series
 # are compared raw, everything else calibration-normalized, classified by
 # name — keep "unpaced" in the names of unpaced throughput sub-benchmarks.
-benches='BenchmarkCalibration|BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen|BenchmarkServerThroughput|BenchmarkClusterThroughput'
+# BenchmarkBatchVerb prices the batch_read serving path: one latency-bound
+# cdsi client against a paced batched store, single-op vs 4-address-batch
+# submission — both sub-series wall-clock paced, so compared raw.
+benches='BenchmarkCalibration|BenchmarkPathORAMAccess|BenchmarkEnforcerFetch|BenchmarkSimulatorThroughput|BenchmarkWorkloadGen|BenchmarkServerThroughput|BenchmarkClusterThroughput|BenchmarkBatchVerb'
 go test -run '^$' -bench "$benches" -benchmem -benchtime="$benchtime" -count=1 . ./internal/server ./internal/cluster | tee "$raw"
 
 # Convert `go test -bench` lines into a JSON array. A bench line looks like:
